@@ -1,0 +1,157 @@
+// Google-benchmark micro benchmarks for the performance-critical paths:
+// TKG ingestion, PrefixSpan mining, MDL primitives, rule-graph
+// construction, scoring, and the online updater.
+
+#include <benchmark/benchmark.h>
+
+#include "core/anot.h"
+#include "datagen/generator.h"
+#include "mdl/encoding.h"
+#include "mining/category_function.h"
+#include "mining/prefixspan.h"
+#include "tkg/split.h"
+
+namespace anot {
+namespace {
+
+GeneratorConfig BenchWorld(size_t facts) {
+  GeneratorConfig cfg;
+  cfg.num_entities = 400;
+  cfg.num_relations = 40;
+  cfg.num_timestamps = 200;
+  cfg.num_facts = facts;
+  cfg.num_categories = 8;
+  cfg.seed = 7;
+  return cfg;
+}
+
+const TemporalKnowledgeGraph& SharedGraph() {
+  static auto* graph = [] {
+    SyntheticGenerator gen(BenchWorld(12000));
+    return gen.Generate().release();
+  }();
+  return *graph;
+}
+
+const AnoT& SharedSystem() {
+  static auto* system = [] {
+    TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);
+    auto train = Subgraph(SharedGraph(), split.train);
+    AnoTOptions options;
+    options.detector.timespan_tolerance = 10;
+    return new AnoT(AnoT::Build(*train, options));
+  }();
+  return *system;
+}
+
+void BM_TkgAddFact(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TemporalKnowledgeGraph g;
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 2000; ++i) {
+      g.AddFact(Fact(i % 97, i % 13, (i * 7) % 89, i % 50));
+    }
+    benchmark::DoNotOptimize(g.num_facts());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_TkgAddFact);
+
+void BM_TkgPairLookup(benchmark::State& state) {
+  const auto& g = SharedGraph();
+  uint64_t found = 0;
+  for (auto _ : state) {
+    for (const Fact& f : g.facts()) {
+      found += g.FactsForPair(f.subject, f.object) != nullptr;
+    }
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations() * g.num_facts());
+}
+BENCHMARK(BM_TkgPairLookup);
+
+void BM_PrefixSpan(benchmark::State& state) {
+  const auto& g = SharedGraph();
+  std::vector<std::vector<uint32_t>> txns(g.num_entities());
+  for (EntityId e = 0; e < g.num_entities(); ++e) {
+    const auto& tokens = g.RelationTokens(e);
+    txns[e].assign(tokens.begin(), tokens.end());
+    std::sort(txns[e].begin(), txns[e].end());
+  }
+  PrefixSpan::Options opts;
+  opts.min_support = 5;
+  for (auto _ : state) {
+    auto patterns = PrefixSpan::Mine(txns, opts);
+    benchmark::DoNotOptimize(patterns.size());
+  }
+}
+BENCHMARK(BM_PrefixSpan);
+
+void BM_CategoryFunctionBuild(benchmark::State& state) {
+  const auto& g = SharedGraph();
+  CategoryFunctionOptions opts;
+  for (auto _ : state) {
+    auto fn = CategoryFunction::Build(g, opts);
+    benchmark::DoNotOptimize(fn.num_categories());
+  }
+}
+BENCHMARK(BM_CategoryFunctionBuild);
+
+void BM_MdlNegativeErrorBits(benchmark::State& state) {
+  double acc = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      acc += NegativeErrorBitsAt(1e10, 1e3, 50, i % 50, i % 20);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MdlNegativeErrorBits);
+
+void BM_RuleGraphBuild(benchmark::State& state) {
+  const size_t facts = static_cast<size_t>(state.range(0));
+  SyntheticGenerator gen(BenchWorld(facts));
+  auto graph = gen.Generate();
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  for (auto _ : state) {
+    AnoT system = AnoT::Build(*graph, options);
+    benchmark::DoNotOptimize(system.rules().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * graph->num_facts());
+}
+BENCHMARK(BM_RuleGraphBuild)->Arg(3000)->Arg(12000);
+
+void BM_StaticAndTemporalScoring(benchmark::State& state) {
+  const AnoT& system = SharedSystem();
+  const auto& facts = SharedGraph().facts();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Scores s = system.Score(facts[i++ % facts.size()]);
+    benchmark::DoNotOptimize(s.temporal_score);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StaticAndTemporalScoring);
+
+void BM_UpdaterIngest(benchmark::State& state) {
+  TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);
+  auto train = Subgraph(SharedGraph(), split.train);
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  AnoT system = AnoT::Build(*train, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Fact& f = SharedGraph().fact(split.test[i++ % split.test.size()]);
+    benchmark::DoNotOptimize(system.IngestValid(f).added_fact);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdaterIngest);
+
+}  // namespace
+}  // namespace anot
+
+BENCHMARK_MAIN();

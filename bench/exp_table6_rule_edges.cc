@@ -1,0 +1,49 @@
+// Table 6: interpretability of the rule graph — example chain and triadic
+// rule edges in human-readable form.
+
+#include "common.h"
+
+using namespace anot;
+using namespace anot::bench;
+
+int main() {
+  PrintHeader("Table 6: example rule edges");
+  Workload w = MakeWorkload("icews14");
+  auto train = Subgraph(*w.graph, w.split.train);
+  AnoT system = AnoT::Build(*train, DefaultAnoTOptions(w.config.name));
+  Explainer explainer = system.MakeExplainer();
+  const RuleGraph& rules = system.rules();
+
+  // Highest-support chain edges (excluding self-recurrence for variety).
+  std::vector<std::pair<uint32_t, RuleEdgeId>> chain, triadic;
+  for (RuleEdgeId e = 0; e < rules.num_edges(); ++e) {
+    const RuleEdge& edge = rules.edge(e);
+    if (edge.kind == RuleEdgeKind::kChain && edge.head != edge.tail) {
+      chain.push_back({edge.support, e});
+    } else if (edge.kind == RuleEdgeKind::kTriadic) {
+      triadic.push_back({edge.support, e});
+    }
+  }
+  std::sort(chain.rbegin(), chain.rend());
+  std::sort(triadic.rbegin(), triadic.rend());
+
+  std::printf("chain rule edges:\n");
+  for (size_t i = 0; i < std::min<size_t>(4, chain.size()); ++i) {
+    const RuleEdge& edge = rules.edge(chain[i].second);
+    std::printf("  %s -> %s  [support %u, median timespan %lld]\n",
+                explainer.DescribeRule(edge.head).c_str(),
+                explainer.DescribeRule(edge.tail).c_str(), edge.support,
+                static_cast<long long>(
+                    edge.timespans[edge.timespans.size() / 2]));
+  }
+  std::printf("\ntriadic rule edges:\n");
+  for (size_t i = 0; i < std::min<size_t>(4, triadic.size()); ++i) {
+    const RuleEdge& edge = rules.edge(triadic[i].second);
+    std::printf("  (%s, %s) -> %s  [support %u]\n",
+                explainer.DescribeRule(edge.head).c_str(),
+                explainer.DescribeRule(edge.mid).c_str(),
+                explainer.DescribeRule(edge.tail).c_str(), edge.support);
+  }
+  if (triadic.empty()) std::printf("  (none selected at this scale)\n");
+  return 0;
+}

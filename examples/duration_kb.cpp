@@ -1,0 +1,60 @@
+// Duration-based knowledge bases (§4.7): build the four rule graphs over
+// a Wikidata-like TKG with validity intervals and score interval errors.
+//
+//   ./build/examples/duration_kb
+
+#include <cstdio>
+
+#include "anomaly/injector.h"
+#include "core/duration.h"
+#include "datagen/presets.h"
+#include "tkg/split.h"
+
+using namespace anot;
+
+int main() {
+  GeneratorConfig cfg = DatasetPresets::Wikidata(0.015);
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  TimeSplit split = SplitByTimestamps(*graph, 0.6, 0.1);
+  auto offline = Subgraph(*graph, split.train);
+
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 40;
+  DurationAnoT model =
+      DurationAnoT::Build(*offline, options, DurationStrategy::kFourGraphs);
+
+  std::printf("four rule graphs over %zu duration facts:\n",
+              offline->num_facts());
+  for (size_t v = 0; v < model.num_views(); ++v) {
+    std::printf("  %-6s: %zu rules, %zu edges, %.1f%% associated\n",
+                model.view_name(v).c_str(), model.view(v).rules().num_rules(),
+                model.view(v).rules().num_edges(),
+                100 * model.view(v).report().associated_fraction);
+  }
+
+  // Score a window with perturbed start/end times.
+  InjectorConfig icfg;
+  icfg.perturb_durations = true;
+  AnomalyInjector injector(icfg);
+  EvalStream stream = injector.Inject(*graph, split.test);
+
+  double valid_mean = 0, anomaly_mean = 0;
+  size_t valid_n = 0, anomaly_n = 0;
+  for (const auto& lf : stream.arrivals) {
+    const Scores s = model.Score(lf.fact);
+    if (lf.label == AnomalyType::kValid) {
+      valid_mean += s.static_score;
+      ++valid_n;
+      model.IngestValid(lf.fact);
+    } else if (lf.label == AnomalyType::kConceptual) {
+      anomaly_mean += s.static_score;
+      ++anomaly_n;
+    }
+  }
+  std::printf("\nmean static score: valid %.4g vs conceptual errors %.4g "
+              "(%zu vs %zu facts)\n",
+              valid_mean / valid_n, anomaly_mean / anomaly_n, valid_n,
+              anomaly_n);
+  return 0;
+}

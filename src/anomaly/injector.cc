@@ -1,0 +1,152 @@
+#include "anomaly/injector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace anot {
+
+const char* AnomalyTypeName(AnomalyType type) {
+  switch (type) {
+    case AnomalyType::kValid: return "valid";
+    case AnomalyType::kConceptual: return "conceptual";
+    case AnomalyType::kTime: return "time";
+    case AnomalyType::kMissing: return "missing";
+  }
+  return "?";
+}
+
+AnomalyInjector::AnomalyInjector(const InjectorConfig& config)
+    : config_(config), rng_(config.seed) {
+  ANOT_CHECK(config_.conceptual_fraction + config_.time_fraction +
+                 config_.missing_fraction <
+             1.0)
+      << "anomaly fractions must leave valid facts in the stream";
+}
+
+Fact AnomalyInjector::PerturbConceptual(const TemporalKnowledgeGraph& graph,
+                                        const Fact& f) {
+  const size_t num_entities = graph.num_entities();
+  const size_t num_relations = graph.num_relations();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Fact candidate = f;
+    if (rng_.Bernoulli(0.5) && num_entities > 2) {
+      candidate.object =
+          static_cast<EntityId>(rng_.Uniform(num_entities));
+    } else if (num_relations > 1) {
+      candidate.relation =
+          static_cast<RelationId>(rng_.Uniform(num_relations));
+    }
+    const bool unchanged = candidate.object == f.object &&
+                           candidate.relation == f.relation;
+    if (unchanged || candidate.object == candidate.subject) continue;
+    if (!graph.ContainsTriple(candidate.subject, candidate.relation,
+                              candidate.object)) {
+      return candidate;
+    }
+  }
+  // Dense graph fallback: flip the object deterministically to an entity
+  // that never interacted with this subject/relation.
+  Fact candidate = f;
+  candidate.object = (f.object + 1) % std::max<size_t>(2, num_entities);
+  return candidate;
+}
+
+Fact AnomalyInjector::PerturbTime(const TemporalKnowledgeGraph& graph,
+                                  const Fact& f, Timestamp window_min,
+                                  Timestamp window_max) {
+  const Timestamp span = std::max<Timestamp>(1, window_max - window_min);
+  const Timestamp min_shift = std::max<Timestamp>(
+      1, static_cast<Timestamp>(static_cast<double>(span) *
+                                config_.min_time_shift_fraction));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Fact candidate = f;
+    Timestamp t2 = window_min + rng_.UniformInt(0, span);
+    if (std::llabs(t2 - f.time) < min_shift) continue;
+    if (config_.perturb_durations && graph.has_durations()) {
+      // Perturb t_start or t_end while preserving start <= end.
+      if (rng_.Bernoulli(0.5)) {
+        candidate.time = std::min(t2, candidate.end);
+      } else {
+        candidate.end = std::max(t2, candidate.time);
+        if (candidate.end == f.end) continue;
+      }
+    } else {
+      candidate.time = t2;
+      candidate.end = config_.perturb_durations
+                          ? std::max(candidate.end, t2)
+                          : t2;
+    }
+    if (!graph.Contains(candidate)) return candidate;
+  }
+  // Fallback: push to the far edge of the window.
+  Fact candidate = f;
+  Timestamp t2 =
+      (f.time - window_min > window_max - f.time) ? window_min : window_max;
+  candidate.time = t2;
+  if (!config_.perturb_durations) candidate.end = t2;
+  if (candidate.end < candidate.time) candidate.end = candidate.time;
+  return candidate;
+}
+
+EvalStream AnomalyInjector::Inject(const TemporalKnowledgeGraph& graph,
+                                   const std::vector<FactId>& window) {
+  EvalStream stream;
+  if (window.empty()) return stream;
+
+  Timestamp window_min = graph.fact(window.front()).time;
+  Timestamp window_max = window_min;
+  for (FactId id : window) {
+    window_min = std::min(window_min, graph.fact(id).time);
+    window_max = std::max(window_max, graph.fact(id).time);
+  }
+
+  // Disjoint samples per anomaly type (paper: 15% each).
+  const size_t n = window.size();
+  const size_t n_conceptual =
+      static_cast<size_t>(static_cast<double>(n) *
+                          config_.conceptual_fraction);
+  const size_t n_time = static_cast<size_t>(
+      static_cast<double>(n) * config_.time_fraction);
+  const size_t n_missing = static_cast<size_t>(
+      static_cast<double>(n) * config_.missing_fraction);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng_.Shuffle(&order);
+
+  stream.arrivals.reserve(n - n_missing);
+  stream.missing_candidates.reserve(2 * n_missing);
+
+  for (size_t pos = 0; pos < n; ++pos) {
+    const FactId id = window[order[pos]];
+    const Fact& f = graph.fact(id);
+    if (pos < n_conceptual) {
+      stream.arrivals.push_back(
+          LabeledFact{PerturbConceptual(graph, f), AnomalyType::kConceptual,
+                      id});
+    } else if (pos < n_conceptual + n_time) {
+      stream.arrivals.push_back(LabeledFact{
+          PerturbTime(graph, f, window_min, window_max), AnomalyType::kTime,
+          id});
+    } else if (pos < n_conceptual + n_time + n_missing) {
+      // Deleted from the stream; it becomes a missing-error positive.
+      stream.missing_candidates.push_back(
+          LabeledFact{f, AnomalyType::kMissing, id});
+      // Matched negative: a corrupted tuple that genuinely should not be
+      // added to the TKG.
+      stream.missing_candidates.push_back(
+          LabeledFact{PerturbConceptual(graph, f), AnomalyType::kValid, id});
+    } else {
+      stream.arrivals.push_back(LabeledFact{f, AnomalyType::kValid, id});
+    }
+  }
+
+  std::stable_sort(stream.arrivals.begin(), stream.arrivals.end(),
+                   [](const LabeledFact& a, const LabeledFact& b) {
+                     return a.fact.time < b.fact.time;
+                   });
+  return stream;
+}
+
+}  // namespace anot

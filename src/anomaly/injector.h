@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tkg/graph.h"
+#include "util/random.h"
+
+namespace anot {
+
+/// \brief The three anomaly classes of §3.2 plus the valid label.
+enum class AnomalyType { kValid = 0, kConceptual, kTime, kMissing };
+
+const char* AnomalyTypeName(AnomalyType type);
+
+/// \brief A fact in an evaluation stream with its ground-truth label.
+struct LabeledFact {
+  Fact fact;
+  AnomalyType label = AnomalyType::kValid;
+  /// Id of the clean fact this entry was derived from (diagnostics).
+  FactId source = kInvalidId;
+};
+
+/// \brief An injected evaluation stream (paper §5.1 protocol).
+///
+/// `arrivals` carries the surviving valid facts plus conceptual and time
+/// anomalies, sorted by arrival timestamp. `missing_candidates` carries
+/// the missing-error detection task: positives are valid facts deleted
+/// from the stream (label kMissing), negatives are corrupted tuples that
+/// genuinely should not exist (label kValid).
+struct EvalStream {
+  std::vector<LabeledFact> arrivals;
+  std::vector<LabeledFact> missing_candidates;
+};
+
+/// \brief Injection parameters. The paper perturbs 15% of valid knowledge
+/// per anomaly type, with disjoint samples, and keeps "a large span"
+/// between t and t' for time errors.
+struct InjectorConfig {
+  double conceptual_fraction = 0.15;
+  double time_fraction = 0.15;
+  double missing_fraction = 0.15;
+  /// Minimum |t' - t| as a fraction of the evaluation window span.
+  double min_time_shift_fraction = 0.3;
+  /// For duration TKGs: perturb t_start or t_end instead of t.
+  bool perturb_durations = false;
+  uint64_t seed = 7;
+};
+
+/// \brief Generates labeled evaluation streams from clean TKG windows.
+class AnomalyInjector {
+ public:
+  explicit AnomalyInjector(const InjectorConfig& config);
+
+  /// Injects anomalies into the facts of `window` (fact ids into `graph`).
+  /// `graph` is the *full* clean TKG and is used to verify that perturbed
+  /// tuples do not collide with genuine knowledge.
+  EvalStream Inject(const TemporalKnowledgeGraph& graph,
+                    const std::vector<FactId>& window);
+
+ private:
+  Fact PerturbConceptual(const TemporalKnowledgeGraph& graph, const Fact& f);
+  Fact PerturbTime(const TemporalKnowledgeGraph& graph, const Fact& f,
+                   Timestamp window_min, Timestamp window_max);
+
+  InjectorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace anot

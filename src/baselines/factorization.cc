@@ -1,0 +1,392 @@
+#include "baselines/factorization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+uint64_t TripleKey64(EntityId s, RelationId r, EntityId o) {
+  uint64_t h = internal::HashMix(PairKey(s, o));
+  return internal::HashMix(h ^ (static_cast<uint64_t>(r) << 1));
+}
+}  // namespace
+
+// ------------------------------------------------------------------ base
+
+double FactorizationBaseline::NormalizeTime(Timestamp t) const {
+  const double span =
+      std::max<double>(1.0, static_cast<double>(max_time_ - min_time_));
+  double x = static_cast<double>(t - min_time_) / span;
+  return std::clamp(x, 0.0, 1.0);
+}
+
+size_t FactorizationBaseline::TimeBucket(Timestamp t) const {
+  const double x = NormalizeTime(t);
+  const size_t b = static_cast<size_t>(x * static_cast<double>(
+                                               config_.time_buckets));
+  return std::min(b, config_.time_buckets - 1);
+}
+
+void FactorizationBaseline::Fit(const TemporalKnowledgeGraph& train) {
+  rng_ = Rng(config_.seed);
+  num_entities_ = std::max<size_t>(2, train.num_entities());
+  num_relations_ = std::max<size_t>(2, train.num_relations());
+  min_time_ = train.min_time();
+  max_time_ = std::max(train.max_time(), min_time_ + 1);
+  Init(num_entities_, num_relations_);
+
+  const auto& facts = train.facts();
+  if (facts.empty()) return;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Fact& f : facts) {
+      SgdStep(f, 1.0f);
+      for (size_t k = 0; k < config_.negatives; ++k) {
+        Fact neg = f;
+        if (rng_.Bernoulli(0.5)) {
+          neg.object = static_cast<EntityId>(rng_.Uniform(num_entities_));
+        } else {
+          neg.relation =
+              static_cast<RelationId>(rng_.Uniform(num_relations_));
+        }
+        if (neg == f) continue;
+        SgdStep(neg, 0.0f);
+      }
+    }
+  }
+}
+
+AnomalyModel::TaskScores FactorizationBaseline::Score(const Fact& fact) {
+  const double phi = ScoreTuple(fact);
+  return TaskScores{-phi, -phi, phi};
+}
+
+// -------------------------------------------------------------------- DE
+
+DeSimpleBaseline::DeSimpleBaseline(const Config& config)
+    : FactorizationBaseline(config) {}
+
+void DeSimpleBaseline::Init(size_t num_entities, size_t num_relations) {
+  const size_t half = std::max<size_t>(2, config_.dim / 2);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  ent_static_ =
+      std::make_unique<EmbeddingTable>(num_entities, half, scale, &rng_);
+  ent_amp_ =
+      std::make_unique<EmbeddingTable>(num_entities, half, scale, &rng_);
+  ent_freq_ =
+      std::make_unique<EmbeddingTable>(num_entities, half, 4.0, &rng_);
+  ent_phase_ =
+      std::make_unique<EmbeddingTable>(num_entities, half, kPi, &rng_);
+  rel_ = std::make_unique<EmbeddingTable>(num_relations, 2 * half, scale,
+                                          &rng_);
+}
+
+std::vector<float> DeSimpleBaseline::EntityAt(EntityId e,
+                                              Timestamp t) const {
+  const size_t half = ent_static_->dim();
+  std::vector<float> out(2 * half);
+  const float* st = ent_static_->Row(e < ent_static_->rows() ? e : 0);
+  const float* amp = ent_amp_->Row(e < ent_amp_->rows() ? e : 0);
+  const float* freq = ent_freq_->Row(e < ent_freq_->rows() ? e : 0);
+  const float* phase = ent_phase_->Row(e < ent_phase_->rows() ? e : 0);
+  const float x = static_cast<float>(NormalizeTime(t));
+  for (size_t i = 0; i < half; ++i) {
+    out[i] = st[i];
+    out[half + i] = amp[i] * std::sin(freq[i] * x + phase[i]);
+  }
+  return out;
+}
+
+double DeSimpleBaseline::ScoreTuple(const Fact& f) const {
+  const auto s = EntityAt(f.subject, f.time);
+  const auto o = EntityAt(f.object, f.time);
+  const float* r = rel_->Row(f.relation < rel_->rows() ? f.relation : 0);
+  double phi = 0;
+  for (size_t i = 0; i < s.size(); ++i) phi += s[i] * r[i] * o[i];
+  return phi;
+}
+
+void DeSimpleBaseline::SgdStep(const Fact& f, float label) {
+  const size_t half = ent_static_->dim();
+  const auto s = EntityAt(f.subject, f.time);
+  const auto o = EntityAt(f.object, f.time);
+  const float* r = rel_->Row(f.relation);
+  double phi = 0;
+  for (size_t i = 0; i < s.size(); ++i) phi += s[i] * r[i] * o[i];
+  const float g = Sigmoid(static_cast<float>(phi)) - label;
+  const float x = static_cast<float>(NormalizeTime(f.time));
+
+  std::vector<float> grad_r(2 * half), grad_s_static(half),
+      grad_o_static(half), grad_s_amp(half), grad_o_amp(half);
+  for (size_t i = 0; i < 2 * half; ++i) grad_r[i] = g * s[i] * o[i];
+  for (size_t i = 0; i < half; ++i) {
+    grad_s_static[i] = g * r[i] * o[i];
+    grad_o_static[i] = g * r[i] * s[i];
+  }
+  const float* s_freq = ent_freq_->Row(f.subject);
+  const float* s_phase = ent_phase_->Row(f.subject);
+  const float* o_freq = ent_freq_->Row(f.object);
+  const float* o_phase = ent_phase_->Row(f.object);
+  for (size_t i = 0; i < half; ++i) {
+    grad_s_amp[i] = g * r[half + i] * o[half + i] *
+                    std::sin(s_freq[i] * x + s_phase[i]);
+    grad_o_amp[i] = g * r[half + i] * s[half + i] *
+                    std::sin(o_freq[i] * x + o_phase[i]);
+  }
+  rel_->Update(f.relation, grad_r, config_.lr);
+  ent_static_->Update(f.subject, grad_s_static, config_.lr);
+  ent_static_->Update(f.object, grad_o_static, config_.lr);
+  ent_amp_->Update(f.subject, grad_s_amp, config_.lr);
+  ent_amp_->Update(f.object, grad_o_amp, config_.lr);
+}
+
+// -------------------------------------------------------------------- TA
+
+TaDistmultBaseline::TaDistmultBaseline(const Config& config)
+    : FactorizationBaseline(config) {}
+
+void TaDistmultBaseline::Init(size_t num_entities, size_t num_relations) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  ent_ = std::make_unique<EmbeddingTable>(num_entities, config_.dim, scale,
+                                          &rng_);
+  rel_ = std::make_unique<EmbeddingTable>(num_relations, config_.dim, scale,
+                                          &rng_);
+  time_ = std::make_unique<EmbeddingTable>(config_.time_buckets,
+                                           config_.dim, scale, &rng_);
+}
+
+double TaDistmultBaseline::ScoreTuple(const Fact& f) const {
+  const size_t d = config_.dim;
+  const float* s = ent_->Row(f.subject < ent_->rows() ? f.subject : 0);
+  const float* o = ent_->Row(f.object < ent_->rows() ? f.object : 0);
+  const float* r = rel_->Row(f.relation < rel_->rows() ? f.relation : 0);
+  const float* w = time_->Row(TimeBucket(f.time));
+  double phi = 0;
+  for (size_t i = 0; i < d; ++i) phi += s[i] * (r[i] + w[i]) * o[i];
+  return phi;
+}
+
+void TaDistmultBaseline::SgdStep(const Fact& f, float label) {
+  const size_t d = config_.dim;
+  const size_t bucket = TimeBucket(f.time);
+  const float* s = ent_->Row(f.subject);
+  const float* o = ent_->Row(f.object);
+  const float* r = rel_->Row(f.relation);
+  const float* w = time_->Row(bucket);
+  double phi = 0;
+  for (size_t i = 0; i < d; ++i) phi += s[i] * (r[i] + w[i]) * o[i];
+  const float g = Sigmoid(static_cast<float>(phi)) - label;
+
+  std::vector<float> gs(d), go(d), gr(d);
+  for (size_t i = 0; i < d; ++i) {
+    const float rt = r[i] + w[i];
+    gs[i] = g * rt * o[i];
+    go[i] = g * rt * s[i];
+    gr[i] = g * s[i] * o[i];
+  }
+  ent_->Update(f.subject, gs, config_.lr);
+  ent_->Update(f.object, go, config_.lr);
+  rel_->Update(f.relation, gr, config_.lr);
+  time_->Update(bucket, gr, config_.lr);  // same gradient form
+}
+
+// ------------------------------------------------------------------- TNT
+
+TntComplexBaseline::TntComplexBaseline(const Config& config)
+    : FactorizationBaseline(config) {}
+
+void TntComplexBaseline::Init(size_t num_entities, size_t num_relations) {
+  const size_t width = 2 * config_.dim;  // re | im halves
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  ent_ = std::make_unique<EmbeddingTable>(num_entities, width, scale, &rng_);
+  rel_ = std::make_unique<EmbeddingTable>(num_relations, width, scale,
+                                          &rng_);
+  rel_t_ = std::make_unique<EmbeddingTable>(num_relations, width, scale,
+                                            &rng_);
+  time_ = std::make_unique<EmbeddingTable>(config_.time_buckets, width,
+                                           scale, &rng_);
+}
+
+double TntComplexBaseline::ScoreTuple(const Fact& f) const {
+  const size_t d = config_.dim;
+  const float* s = ent_->Row(f.subject < ent_->rows() ? f.subject : 0);
+  const float* o = ent_->Row(f.object < ent_->rows() ? f.object : 0);
+  const float* r = rel_->Row(f.relation < rel_->rows() ? f.relation : 0);
+  const float* rt =
+      rel_t_->Row(f.relation < rel_t_->rows() ? f.relation : 0);
+  const float* w = time_->Row(TimeBucket(f.time));
+  double phi = 0;
+  for (size_t i = 0; i < d; ++i) {
+    // r_full = r + r_t ∘ w (complex elementwise product).
+    const float rr = r[i] + rt[i] * w[i] - rt[d + i] * w[d + i];
+    const float ri = r[d + i] + rt[i] * w[d + i] + rt[d + i] * w[i];
+    // Re(<s, r_full, conj(o)>)
+    phi += s[i] * (rr * o[i] + ri * o[d + i]) +
+           s[d + i] * (rr * o[d + i] - ri * o[i]);
+  }
+  return phi;
+}
+
+void TntComplexBaseline::SgdStep(const Fact& f, float label) {
+  const size_t d = config_.dim;
+  const size_t bucket = TimeBucket(f.time);
+  const float* s = ent_->Row(f.subject);
+  const float* o = ent_->Row(f.object);
+  const float* r = rel_->Row(f.relation);
+  const float* rt = rel_t_->Row(f.relation);
+  const float* w = time_->Row(bucket);
+
+  double phi = 0;
+  std::vector<float> rr(d), ri(d);
+  for (size_t i = 0; i < d; ++i) {
+    rr[i] = r[i] + rt[i] * w[i] - rt[d + i] * w[d + i];
+    ri[i] = r[d + i] + rt[i] * w[d + i] + rt[d + i] * w[i];
+    phi += s[i] * (rr[i] * o[i] + ri[i] * o[d + i]) +
+           s[d + i] * (rr[i] * o[d + i] - ri[i] * o[i]);
+  }
+  const float g = Sigmoid(static_cast<float>(phi)) - label;
+
+  std::vector<float> gs(2 * d), go(2 * d), gr(2 * d), grt(2 * d);
+  for (size_t i = 0; i < d; ++i) {
+    // d(phi)/d(rr), d(phi)/d(ri)
+    const float d_rr = s[i] * o[i] + s[d + i] * o[d + i];
+    const float d_ri = s[i] * o[d + i] - s[d + i] * o[i];
+    gs[i] = g * (rr[i] * o[i] + ri[i] * o[d + i]);
+    gs[d + i] = g * (rr[i] * o[d + i] - ri[i] * o[i]);
+    go[i] = g * (rr[i] * s[i] - ri[i] * s[d + i]);
+    go[d + i] = g * (rr[i] * s[d + i] + ri[i] * s[i]);
+    gr[i] = g * d_rr;
+    gr[d + i] = g * d_ri;
+    grt[i] = g * (d_rr * w[i] + d_ri * w[d + i]);
+    grt[d + i] = g * (-d_rr * w[d + i] + d_ri * w[i]);
+  }
+  ent_->Update(f.subject, gs, config_.lr);
+  ent_->Update(f.object, go, config_.lr);
+  rel_->Update(f.relation, gr, config_.lr);
+  rel_t_->Update(f.relation, grt, config_.lr);
+}
+
+// -------------------------------------------------------------- TimePlex
+
+TimeplexBaseline::TimeplexBaseline(const Config& config)
+    : TntComplexBaseline(config) {}
+
+void TimeplexBaseline::Fit(const TemporalKnowledgeGraph& train) {
+  TntComplexBaseline::Fit(train);
+  last_seen_.clear();
+  // Characteristic recurrence scale from the data.
+  double gap_sum = 0;
+  size_t gap_count = 0;
+  for (const Fact& f : train.facts()) {
+    const uint64_t key = TripleKey64(f.subject, f.relation, f.object);
+    auto it = last_seen_.find(key);
+    if (it != last_seen_.end() && f.time > it->second) {
+      gap_sum += static_cast<double>(f.time - it->second);
+      ++gap_count;
+      it->second = f.time;
+    } else {
+      last_seen_[key] = f.time;
+    }
+  }
+  tau_ = gap_count > 0 ? std::max(1.0, gap_sum / gap_count) : 10.0;
+}
+
+double TimeplexBaseline::RecurrenceFeature(const Fact& f) const {
+  auto it = last_seen_.find(TripleKey64(f.subject, f.relation, f.object));
+  if (it == last_seen_.end()) return 0.0;
+  const double gap = std::abs(static_cast<double>(f.time - it->second));
+  return std::exp(-gap / tau_);
+}
+
+AnomalyModel::TaskScores TimeplexBaseline::Score(const Fact& f) {
+  const double phi = ScoreTuple(f) + alpha_ * RecurrenceFeature(f);
+  return TaskScores{-phi, -phi, phi};
+}
+
+void TimeplexBaseline::ObserveValid(const Fact& f) {
+  auto& t = last_seen_[TripleKey64(f.subject, f.relation, f.object)];
+  t = std::max(t, f.time);
+}
+
+// ------------------------------------------------------------------ TELM
+
+TelmBaseline::TelmBaseline(const Config& config)
+    : FactorizationBaseline(config) {}
+
+void TelmBaseline::Init(size_t num_entities, size_t num_relations) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  ent_a_ = std::make_unique<EmbeddingTable>(num_entities, config_.dim,
+                                            scale, &rng_);
+  ent_b_ = std::make_unique<EmbeddingTable>(num_entities, config_.dim,
+                                            scale, &rng_);
+  rel_a_ = std::make_unique<EmbeddingTable>(num_relations, config_.dim,
+                                            scale, &rng_);
+  rel_b_ = std::make_unique<EmbeddingTable>(num_relations, config_.dim,
+                                            scale, &rng_);
+  time_ = std::make_unique<EmbeddingTable>(config_.time_buckets,
+                                           config_.dim, scale, &rng_);
+}
+
+double TelmBaseline::ScoreTuple(const Fact& f) const {
+  const size_t d = config_.dim;
+  const float* sa = ent_a_->Row(f.subject < ent_a_->rows() ? f.subject : 0);
+  const float* sb = ent_b_->Row(f.subject < ent_b_->rows() ? f.subject : 0);
+  const float* oa = ent_a_->Row(f.object < ent_a_->rows() ? f.object : 0);
+  const float* ob = ent_b_->Row(f.object < ent_b_->rows() ? f.object : 0);
+  const float* ra = rel_a_->Row(f.relation < rel_a_->rows() ? f.relation : 0);
+  const float* rb = rel_b_->Row(f.relation < rel_b_->rows() ? f.relation : 0);
+  const float* w = time_->Row(TimeBucket(f.time));
+  double phi = 0;
+  for (size_t i = 0; i < d; ++i) {
+    phi += sa[i] * (ra[i] + w[i]) * oa[i] + sb[i] * rb[i] * ob[i];
+  }
+  return phi;
+}
+
+void TelmBaseline::SgdStep(const Fact& f, float label) {
+  const size_t d = config_.dim;
+  const size_t bucket = TimeBucket(f.time);
+  const float* sa = ent_a_->Row(f.subject);
+  const float* sb = ent_b_->Row(f.subject);
+  const float* oa = ent_a_->Row(f.object);
+  const float* ob = ent_b_->Row(f.object);
+  const float* ra = rel_a_->Row(f.relation);
+  const float* rb = rel_b_->Row(f.relation);
+  const float* w = time_->Row(bucket);
+  double phi = 0;
+  for (size_t i = 0; i < d; ++i) {
+    phi += sa[i] * (ra[i] + w[i]) * oa[i] + sb[i] * rb[i] * ob[i];
+  }
+  const float g = Sigmoid(static_cast<float>(phi)) - label;
+
+  std::vector<float> gsa(d), gsb(d), goa(d), gob(d), gra(d), grb(d), gw(d);
+  for (size_t i = 0; i < d; ++i) {
+    gsa[i] = g * (ra[i] + w[i]) * oa[i];
+    goa[i] = g * (ra[i] + w[i]) * sa[i];
+    gra[i] = g * sa[i] * oa[i];
+    gw[i] = gra[i];
+    gsb[i] = g * rb[i] * ob[i];
+    gob[i] = g * rb[i] * sb[i];
+    grb[i] = g * sb[i] * ob[i];
+  }
+  // Linear temporal regularizer: pull the bucket towards its neighbour.
+  if (bucket + 1 < config_.time_buckets) {
+    const float* w_next = time_->Row(bucket + 1);
+    for (size_t i = 0; i < d; ++i) {
+      gw[i] += 0.01f * (w[i] - w_next[i]);
+    }
+  }
+  ent_a_->Update(f.subject, gsa, config_.lr);
+  ent_a_->Update(f.object, goa, config_.lr);
+  ent_b_->Update(f.subject, gsb, config_.lr);
+  ent_b_->Update(f.object, gob, config_.lr);
+  rel_a_->Update(f.relation, gra, config_.lr);
+  rel_b_->Update(f.relation, grb, config_.lr);
+  time_->Update(bucket, gw, config_.lr);
+}
+
+}  // namespace anot

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/model.h"
+#include "nn/nn.h"
+#include "tkg/types.h"
+#include "util/random.h"
+
+namespace anot {
+
+/// \brief Shared scaffold for the TKG-embedding baselines (§2).
+///
+/// Fit() runs logistic-loss SGD with negative sampling (corrupting the
+/// object or the relation, mirroring the injector's conceptual
+/// perturbations); subclasses implement the scoring function and its
+/// gradient step. Anomaly mapping: conceptual and time scores are the
+/// negated plausibility (these models have no dedicated order signal —
+/// exactly the weakness Table 2 shows); the missing score is the
+/// plausibility itself.
+class FactorizationBaseline : public AnomalyModel {
+ public:
+  struct Config {
+    size_t dim = 16;
+    size_t epochs = 8;
+    size_t negatives = 4;
+    float lr = 0.1f;
+    size_t time_buckets = 64;
+    uint64_t seed = 13;
+  };
+
+  explicit FactorizationBaseline(const Config& config) : config_(config) {}
+
+  void Fit(const TemporalKnowledgeGraph& train) override;
+  TaskScores Score(const Fact& fact) override;
+
+ protected:
+  /// Plausibility of a tuple. Called after Init().
+  virtual double ScoreTuple(const Fact& fact) const = 0;
+  /// One SGD step towards label (1 = observed, 0 = corrupted).
+  virtual void SgdStep(const Fact& fact, float label) = 0;
+  /// Allocates tables once universe sizes are known.
+  virtual void Init(size_t num_entities, size_t num_relations) = 0;
+
+  /// Train-time normalization of timestamps into [0, 1] / bucket index.
+  double NormalizeTime(Timestamp t) const;
+  size_t TimeBucket(Timestamp t) const;
+
+  Config config_;
+  Rng rng_{13};
+  Timestamp min_time_ = 0;
+  Timestamp max_time_ = 1;
+  size_t num_entities_ = 0;
+  size_t num_relations_ = 0;
+};
+
+/// DE (DE-SimplE-style): diachronic entity embeddings — half static, half
+/// a·sin(w t + b) — under a DistMult scorer.
+class DeSimpleBaseline : public FactorizationBaseline {
+ public:
+  explicit DeSimpleBaseline(const Config& config);
+  std::string name() const override { return "DE"; }
+
+ protected:
+  void Init(size_t num_entities, size_t num_relations) override;
+  double ScoreTuple(const Fact& fact) const override;
+  void SgdStep(const Fact& fact, float label) override;
+
+ private:
+  std::vector<float> EntityAt(EntityId e, Timestamp t) const;
+  std::unique_ptr<EmbeddingTable> ent_static_, ent_amp_, ent_freq_,
+      ent_phase_, rel_;
+};
+
+/// TA (TA-DistMult-style): relation composed with a learned time-bucket
+/// embedding, DistMult scorer.
+class TaDistmultBaseline : public FactorizationBaseline {
+ public:
+  explicit TaDistmultBaseline(const Config& config);
+  std::string name() const override { return "TA"; }
+
+ protected:
+  void Init(size_t num_entities, size_t num_relations) override;
+  double ScoreTuple(const Fact& fact) const override;
+  void SgdStep(const Fact& fact, float label) override;
+
+ private:
+  std::unique_ptr<EmbeddingTable> ent_, rel_, time_;
+};
+
+/// TNT (TNTComplEx-style): ComplEx with temporal + non-temporal relation
+/// components r + r_t ∘ w_bucket.
+class TntComplexBaseline : public FactorizationBaseline {
+ public:
+  explicit TntComplexBaseline(const Config& config);
+  std::string name() const override { return "TNT"; }
+
+ protected:
+  void Init(size_t num_entities, size_t num_relations) override;
+  double ScoreTuple(const Fact& fact) const override;
+  void SgdStep(const Fact& fact, float label) override;
+
+ protected:
+  // Real/imaginary halves stored in one row of width 2*dim.
+  std::unique_ptr<EmbeddingTable> ent_, rel_, rel_t_, time_;
+};
+
+/// TimePlex-style: the TNT scorer plus a pair-recurrence time-gap feature
+/// with a learned weight (captures the recurrent nature of relations).
+class TimeplexBaseline : public TntComplexBaseline {
+ public:
+  explicit TimeplexBaseline(const Config& config);
+  std::string name() const override { return "Timeplex"; }
+
+  void Fit(const TemporalKnowledgeGraph& train) override;
+  TaskScores Score(const Fact& fact) override;
+  void ObserveValid(const Fact& fact) override;
+
+ private:
+  double RecurrenceFeature(const Fact& fact) const;
+  /// (s, r, o) -> last observed timestamp.
+  std::unordered_map<uint64_t, Timestamp> last_seen_;
+  double alpha_ = 0.5;
+  double tau_ = 10.0;
+};
+
+/// TELM-style: two-block multivector embeddings with a linear temporal
+/// regularizer pulling adjacent time-bucket embeddings together.
+class TelmBaseline : public FactorizationBaseline {
+ public:
+  explicit TelmBaseline(const Config& config);
+  std::string name() const override { return "TELM"; }
+
+ protected:
+  void Init(size_t num_entities, size_t num_relations) override;
+  double ScoreTuple(const Fact& fact) const override;
+  void SgdStep(const Fact& fact, float label) override;
+
+ private:
+  std::unique_ptr<EmbeddingTable> ent_a_, ent_b_, rel_a_, rel_b_, time_;
+};
+
+}  // namespace anot

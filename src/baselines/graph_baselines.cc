@@ -1,0 +1,371 @@
+#include "baselines/graph_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+uint64_t SubjectRelKey(EntityId s, RelationId r) {
+  return (static_cast<uint64_t>(s) << 32) | r;
+}
+uint64_t RelObjectKey(RelationId r, EntityId o) {
+  return (static_cast<uint64_t>(o) << 32) | (0x80000000ull | r);
+}
+}  // namespace
+
+// -------------------------------------------------------------- RE-GCN
+
+void ReGcnLiteBaseline::Fit(const TemporalKnowledgeGraph& train) {
+  rng_ = Rng(config_.seed);
+  num_entities_ = std::max<size_t>(2, train.num_entities());
+  num_relations_ = std::max<size_t>(2, train.num_relations());
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.dim));
+  base_ = std::make_unique<EmbeddingTable>(num_entities_, config_.dim,
+                                           scale, &rng_);
+  rel_ = std::make_unique<EmbeddingTable>(num_relations_, config_.dim,
+                                          scale, &rng_);
+  rel_msg_ = std::make_unique<EmbeddingTable>(num_relations_, config_.dim,
+                                              scale, &rng_);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Reset states to the base embeddings, then roll forward in time.
+    state_.assign(num_entities_ * config_.dim, 0.0f);
+    for (size_t e = 0; e < num_entities_; ++e) {
+      const float* b = base_->Row(e);
+      std::copy(b, b + config_.dim, &state_[e * config_.dim]);
+    }
+    for (const auto& [t, facts] : train.by_time()) {
+      EvolveTimestamp(facts, train, /*train_step=*/true);
+    }
+  }
+}
+
+void ReGcnLiteBaseline::EvolveTimestamp(
+    const std::vector<FactId>& facts, const TemporalKnowledgeGraph& graph,
+    bool train_step) {
+  const size_t d = config_.dim;
+  // Decoder training against the *previous* states (predict this step).
+  if (train_step) {
+    for (FactId id : facts) {
+      const Fact& f = graph.fact(id);
+      auto step = [&](const Fact& fact, float label) {
+        const float* s = &state_[fact.subject * d];
+        const float* o = &state_[fact.object * d];
+        const float* r = rel_->Row(fact.relation);
+        double phi = 0;
+        for (size_t i = 0; i < d; ++i) phi += s[i] * r[i] * o[i];
+        const float g = Sigmoid(static_cast<float>(phi)) - label;
+        std::vector<float> gr(d);
+        for (size_t i = 0; i < d; ++i) gr[i] = g * s[i] * o[i];
+        rel_->Update(fact.relation, gr, config_.lr);
+        // Base embeddings receive the decoder gradient through the state.
+        std::vector<float> gs(d), go(d);
+        for (size_t i = 0; i < d; ++i) {
+          gs[i] = g * r[i] * o[i];
+          go[i] = g * r[i] * s[i];
+        }
+        base_->Update(fact.subject, gs, config_.lr);
+        base_->Update(fact.object, go, config_.lr);
+      };
+      step(f, 1.0f);
+      for (size_t k = 0; k < config_.negatives; ++k) {
+        Fact neg = f;
+        neg.object = static_cast<EntityId>(rng_.Uniform(num_entities_));
+        if (!(neg == f)) step(neg, 0.0f);
+      }
+    }
+  }
+  // Gated relational aggregation: h <- (1-g) h + g * mean(h_nbr ∘ w_r).
+  std::unordered_map<EntityId, std::pair<std::vector<float>, uint32_t>>
+      messages;
+  for (FactId id : facts) {
+    const Fact& f = graph.fact(id);
+    if (f.subject >= num_entities_ || f.object >= num_entities_) continue;
+    const float* w = rel_msg_->Row(
+        f.relation < num_relations_ ? f.relation : 0);
+    auto& to_subject = messages[f.subject];
+    auto& to_object = messages[f.object];
+    if (to_subject.first.empty()) to_subject.first.assign(d, 0.0f);
+    if (to_object.first.empty()) to_object.first.assign(d, 0.0f);
+    const float* hs = &state_[f.subject * d];
+    const float* ho = &state_[f.object * d];
+    for (size_t i = 0; i < d; ++i) {
+      to_subject.first[i] += ho[i] * w[i];
+      to_object.first[i] += hs[i] * w[i];
+    }
+    ++to_subject.second;
+    ++to_object.second;
+  }
+  for (auto& [e, msg] : messages) {
+    float* h = &state_[e * d];
+    double norm = 0;
+    for (size_t i = 0; i < d; ++i) {
+      h[i] = (1.0f - config_.gate) * h[i] +
+             config_.gate * msg.first[i] / static_cast<float>(msg.second);
+      norm += h[i] * h[i];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (size_t i = 0; i < d; ++i) {
+      h[i] = static_cast<float>(h[i] / norm);
+    }
+  }
+}
+
+double ReGcnLiteBaseline::Phi(const Fact& f) const {
+  const size_t d = config_.dim;
+  if (f.subject >= num_entities_ || f.object >= num_entities_ ||
+      f.relation >= num_relations_) {
+    return 0.0;
+  }
+  const float* s = &state_[f.subject * d];
+  const float* o = &state_[f.object * d];
+  const float* r = rel_->Row(f.relation);
+  double phi = 0;
+  for (size_t i = 0; i < d; ++i) phi += s[i] * r[i] * o[i];
+  return phi;
+}
+
+AnomalyModel::TaskScores ReGcnLiteBaseline::Score(const Fact& fact) {
+  const double phi = Phi(fact);
+  return TaskScores{-phi, -phi, phi};
+}
+
+// ------------------------------------------------------------- DynAnom
+
+void DynAnomBaseline::AddEdge(EntityId a, EntityId b) {
+  adj_[a][b] += 1.0f;
+  adj_[b][a] += 1.0f;
+  degree_[a] += 1.0f;
+  degree_[b] += 1.0f;
+}
+
+void DynAnomBaseline::Fit(const TemporalKnowledgeGraph& train) {
+  adj_.clear();
+  degree_.clear();
+  for (const Fact& f : train.facts()) AddEdge(f.subject, f.object);
+}
+
+double DynAnomBaseline::PprProximity(EntityId source,
+                                     EntityId target) const {
+  // Bounded forward push (Andersen et al.) from `source`.
+  std::unordered_map<EntityId, double> p, r;
+  std::deque<EntityId> queue;
+  r[source] = 1.0;
+  queue.push_back(source);
+  size_t pushes = 0;
+  while (!queue.empty() && pushes < config_.max_pushes) {
+    const EntityId u = queue.front();
+    queue.pop_front();
+    auto rit = r.find(u);
+    if (rit == r.end()) continue;
+    auto dit = degree_.find(u);
+    const double deg = dit == degree_.end() ? 0.0 : dit->second;
+    if (deg <= 0.0 || rit->second < config_.epsilon * std::max(deg, 1.0)) {
+      continue;
+    }
+    const double residue = rit->second;
+    rit->second = 0.0;
+    p[u] += config_.alpha * residue;
+    const double push = (1.0 - config_.alpha) * residue;
+    ++pushes;
+    auto ait = adj_.find(u);
+    if (ait == adj_.end()) continue;
+    for (const auto& [v, w] : ait->second) {
+      double& rv = r[v];
+      const bool was_small = rv < config_.epsilon;
+      rv += push * w / deg;
+      if (was_small && rv >= config_.epsilon) queue.push_back(v);
+    }
+  }
+  auto it = p.find(target);
+  return it == p.end() ? 0.0 : it->second;
+}
+
+AnomalyModel::TaskScores DynAnomBaseline::Score(const Fact& fact) {
+  const double ppr = PprProximity(fact.subject, fact.object);
+  const double anomaly = -std::log(ppr + 1e-9);
+  return TaskScores{anomaly, anomaly, -anomaly};
+}
+
+void DynAnomBaseline::ObserveValid(const Fact& fact) {
+  AddEdge(fact.subject, fact.object);
+}
+
+// -------------------------------------------------------------- F-FADE
+
+double FFadeBaseline::Channel::intensity(const Config& config) const {
+  if (count < 2) return config.cold_rate;
+  const double span = std::max<double>(1.0, static_cast<double>(last - first));
+  return static_cast<double>(count - 1) / span;
+}
+
+void FFadeBaseline::Touch(std::unordered_map<uint64_t, Channel>* table,
+                          uint64_t key, Timestamp t) {
+  Channel& c = (*table)[key];
+  if (c.count == 0) {
+    c.first = t;
+    c.last = t;
+  } else {
+    c.first = std::min(c.first, t);
+    c.last = std::max(c.last, t);
+  }
+  ++c.count;
+}
+
+void FFadeBaseline::Fit(const TemporalKnowledgeGraph& train) {
+  pair_channels_.clear();
+  subject_rel_channels_.clear();
+  rel_object_channels_.clear();
+  for (const Fact& f : train.facts()) {
+    Touch(&pair_channels_, PairKey(f.subject, f.object), f.time);
+    Touch(&subject_rel_channels_, SubjectRelKey(f.subject, f.relation),
+          f.time);
+    Touch(&rel_object_channels_, RelObjectKey(f.relation, f.object),
+          f.time);
+  }
+}
+
+double FFadeBaseline::ChannelNll(
+    const std::unordered_map<uint64_t, Channel>& table, uint64_t key,
+    Timestamp t) const {
+  auto it = table.find(key);
+  if (it == table.end()) {
+    // A never-seen channel: surprise of the channel existing at all.
+    return -std::log(config_.cold_rate);
+  }
+  const double rate = it->second.intensity(config_);
+  double gap = std::max<double>(1.0, std::llabs(t - it->second.last));
+  // Cap the inter-arrival term: a long-quiet *known* channel must stay
+  // less surprising than a channel that never existed.
+  gap = std::min(gap, 2.0 / std::max(rate, 1e-6));
+  return rate * gap - std::log(rate + 1e-12);
+}
+
+AnomalyModel::TaskScores FFadeBaseline::Score(const Fact& fact) {
+  const double nll =
+      0.4 * ChannelNll(pair_channels_, PairKey(fact.subject, fact.object),
+                       fact.time) +
+      0.2 * ChannelNll(subject_rel_channels_,
+                       SubjectRelKey(fact.subject, fact.relation),
+                       fact.time) +
+      0.4 * ChannelNll(rel_object_channels_,
+                       RelObjectKey(fact.relation, fact.object), fact.time);
+  return TaskScores{nll, nll, -nll};
+}
+
+void FFadeBaseline::ObserveValid(const Fact& fact) {
+  Touch(&pair_channels_, PairKey(fact.subject, fact.object), fact.time);
+  Touch(&subject_rel_channels_, SubjectRelKey(fact.subject, fact.relation),
+        fact.time);
+  Touch(&rel_object_channels_, RelObjectKey(fact.relation, fact.object),
+        fact.time);
+}
+
+// --------------------------------------------------------------- TADDY
+
+std::vector<float> TaddyLiteBaseline::Features(const Fact& fact) const {
+  auto deg = [&](EntityId e) -> float {
+    auto it = neighbours_.find(e);
+    return it == neighbours_.end()
+               ? 0.0f
+               : static_cast<float>(it->second.size());
+  };
+  float common = 0;
+  auto sit = neighbours_.find(fact.subject);
+  auto oit = neighbours_.find(fact.object);
+  if (sit != neighbours_.end() && oit != neighbours_.end()) {
+    const auto& smaller =
+        sit->second.size() < oit->second.size() ? sit->second : oit->second;
+    const auto& larger =
+        sit->second.size() < oit->second.size() ? oit->second : sit->second;
+    size_t scanned = 0;
+    for (EntityId n : smaller) {
+      if (larger.count(n)) ++common;
+      if (++scanned > 256) break;
+    }
+  }
+  auto count_of = [](const auto& table, uint64_t key) -> float {
+    auto it = table.find(key);
+    return it == table.end() ? 0.0f : static_cast<float>(it->second);
+  };
+  const float pair_count =
+      count_of(pair_counts_, PairKey(fact.subject, fact.object));
+  float recency = 0.0f;
+  auto lit = pair_last_.find(PairKey(fact.subject, fact.object));
+  if (lit != pair_last_.end()) {
+    recency = 1.0f / (1.0f + std::abs(static_cast<float>(
+                                 fact.time - lit->second)));
+  }
+  float rel_freq = 0.0f;
+  {
+    auto it = relation_counts_.find(fact.relation);
+    if (it != relation_counts_.end() && total_facts_ > 0) {
+      rel_freq = static_cast<float>(it->second) /
+                 static_cast<float>(total_facts_);
+    }
+  }
+  const float sr_seen =
+      count_of(subject_rel_counts_,
+               SubjectRelKey(fact.subject, fact.relation)) > 0
+          ? 1.0f
+          : 0.0f;
+  return {std::log1p(deg(fact.subject)), std::log1p(deg(fact.object)),
+          std::log1p(common),            std::log1p(pair_count),
+          recency,                       rel_freq,
+          sr_seen,                       1.0f};
+}
+
+void TaddyLiteBaseline::Absorb(const Fact& fact) {
+  neighbours_[fact.subject].insert(fact.object);
+  neighbours_[fact.object].insert(fact.subject);
+  ++pair_counts_[PairKey(fact.subject, fact.object)];
+  auto& last = pair_last_[PairKey(fact.subject, fact.object)];
+  last = std::max(last, fact.time);
+  ++relation_counts_[fact.relation];
+  ++subject_rel_counts_[SubjectRelKey(fact.subject, fact.relation)];
+  ++total_facts_;
+}
+
+void TaddyLiteBaseline::Fit(const TemporalKnowledgeGraph& train) {
+  neighbours_.clear();
+  pair_counts_.clear();
+  pair_last_.clear();
+  relation_counts_.clear();
+  subject_rel_counts_.clear();
+  total_facts_ = 0;
+  for (const Fact& f : train.facts()) Absorb(f);
+
+  mlp_ = std::make_unique<Mlp>(8, config_.hidden, config_.seed);
+  Rng rng(config_.seed);
+  const size_t num_entities = std::max<size_t>(2, train.num_entities());
+  const size_t num_relations = std::max<size_t>(2, train.num_relations());
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (const Fact& f : train.facts()) {
+      mlp_->TrainStep(Features(f), 1.0f, config_.lr);
+      for (size_t k = 0; k < config_.negatives; ++k) {
+        Fact neg = f;
+        if (rng.Bernoulli(0.5)) {
+          neg.object = static_cast<EntityId>(rng.Uniform(num_entities));
+        } else {
+          neg.relation =
+              static_cast<RelationId>(rng.Uniform(num_relations));
+        }
+        if (!(neg == f)) mlp_->TrainStep(Features(neg), 0.0f, config_.lr);
+      }
+    }
+  }
+}
+
+AnomalyModel::TaskScores TaddyLiteBaseline::Score(const Fact& fact) {
+  const float logit = mlp_->Forward(Features(fact));
+  const double anomaly = 1.0 - Sigmoid(logit);
+  return TaskScores{anomaly, anomaly, -anomaly};
+}
+
+void TaddyLiteBaseline::ObserveValid(const Fact& fact) { Absorb(fact); }
+
+}  // namespace anot

@@ -1,0 +1,49 @@
+#include "baselines/registry.h"
+
+#include "baselines/factorization.h"
+#include "baselines/graph_baselines.h"
+
+namespace anot {
+
+Result<std::unique_ptr<AnomalyModel>> MakeBaseline(const std::string& name) {
+  FactorizationBaseline::Config fc;
+  if (name == "DE") {
+    return std::unique_ptr<AnomalyModel>(new DeSimpleBaseline(fc));
+  }
+  if (name == "TA") {
+    return std::unique_ptr<AnomalyModel>(new TaDistmultBaseline(fc));
+  }
+  if (name == "Timeplex") {
+    return std::unique_ptr<AnomalyModel>(new TimeplexBaseline(fc));
+  }
+  if (name == "TNT") {
+    return std::unique_ptr<AnomalyModel>(new TntComplexBaseline(fc));
+  }
+  if (name == "TELM") {
+    return std::unique_ptr<AnomalyModel>(new TelmBaseline(fc));
+  }
+  if (name == "RE-GCN") {
+    return std::unique_ptr<AnomalyModel>(
+        new ReGcnLiteBaseline(ReGcnLiteBaseline::Config{}));
+  }
+  if (name == "DynAnom") {
+    return std::unique_ptr<AnomalyModel>(
+        new DynAnomBaseline(DynAnomBaseline::Config{}));
+  }
+  if (name == "F-FADE") {
+    return std::unique_ptr<AnomalyModel>(
+        new FFadeBaseline(FFadeBaseline::Config{}));
+  }
+  if (name == "TADDY") {
+    return std::unique_ptr<AnomalyModel>(
+        new TaddyLiteBaseline(TaddyLiteBaseline::Config{}));
+  }
+  return Status::NotFound("unknown baseline: " + name);
+}
+
+std::vector<std::string> AllBaselineNames() {
+  return {"DE",     "TA",      "Timeplex", "TNT",  "TELM",
+          "RE-GCN", "DynAnom", "F-FADE",   "TADDY"};
+}
+
+}  // namespace anot

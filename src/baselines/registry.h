@@ -1,0 +1,21 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/model.h"
+#include "util/result.h"
+
+namespace anot {
+
+/// \brief Factory for the benchmark baselines.
+///
+/// Names (Table 2): "DE", "TA", "Timeplex", "TNT", "TELM", "RE-GCN",
+/// "DynAnom", "F-FADE", "TADDY".
+Result<std::unique_ptr<AnomalyModel>> MakeBaseline(const std::string& name);
+
+/// All nine baseline names in the paper's Table 2 row order.
+std::vector<std::string> AllBaselineNames();
+
+}  // namespace anot

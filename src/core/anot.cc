@@ -1,0 +1,101 @@
+#include "core/anot.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+
+std::unique_ptr<TemporalKnowledgeGraph> CopyGraph(
+    const TemporalKnowledgeGraph& src) {
+  auto out = std::make_unique<TemporalKnowledgeGraph>();
+  for (size_t e = 0; e < src.entity_dict().size(); ++e) {
+    out->entity_dict().GetOrAdd(src.entity_dict().Name(e));
+  }
+  for (size_t r = 0; r < src.relation_dict().size(); ++r) {
+    out->relation_dict().GetOrAdd(src.relation_dict().Name(r));
+  }
+  for (const Fact& f : src.facts()) out->AddFact(f);
+  return out;
+}
+
+}  // namespace
+
+AnoT AnoT::Build(const TemporalKnowledgeGraph& offline,
+                 const AnoTOptions& options) {
+  AnoT anot;
+  anot.options_ = options;
+  if (!options.detector.use_category_aggregation) {
+    // Table 3 ablation: skip the aggregation passes entirely.
+    anot.options_.detector.category.max_aggregation_rounds = 0;
+  }
+  anot.graph_ = CopyGraph(offline);
+  anot.Rebuild();
+  return anot;
+}
+
+void AnoT::Rebuild() {
+  categories_ = std::make_unique<CategoryFunction>(CategoryFunction::Build(
+      *graph_, options_.detector.category));
+  RuleGraphBuilder builder(*graph_, *categories_, options_.detector);
+  auto built = builder.Build();
+  rules_ = std::move(built.rule_graph);
+  report_ = built.report;
+
+  scorer_ = std::make_unique<Scorer>(graph_.get(), categories_.get(),
+                                     rules_.get(), &options_.detector);
+  updater_ = std::make_unique<Updater>(graph_.get(), categories_.get(),
+                                       rules_.get(), &options_.detector,
+                                       options_.updater);
+  const double e = std::max<double>(2.0, graph_->num_entities());
+  const double r = std::max<double>(1.0, graph_->num_relations());
+  monitor_ = std::make_unique<Monitor>(report_.negative_bits,
+                                       report_.num_train_timestamps,
+                                       std::max(e * e * r, 4.0), e,
+                                       options_.monitor);
+}
+
+Scores AnoT::Score(const Fact& fact) const { return scorer_->Score(fact); }
+
+Scores AnoT::ScoreWithEvidence(const Fact& fact, Evidence* evidence) const {
+  return scorer_->Score(fact, evidence);
+}
+
+void AnoT::SetValidityThresholds(double static_threshold,
+                                 double temporal_threshold) {
+  static_threshold_ = static_threshold;
+  temporal_threshold_ = temporal_threshold;
+}
+
+UpdateEffects AnoT::IngestValid(const Fact& fact) {
+  return updater_->Ingest(fact);
+}
+
+Scores AnoT::ProcessArrival(const Fact& fact) {
+  const Scores scores = scorer_->Score(fact);
+  monitor_->Observe(fact.time, scores.static_support > 0.0,
+                    scores.associated);
+  const bool valid = scores.static_score <= static_threshold_ &&
+                     (!scores.temporal_evaluated ||
+                      scores.temporal_score <= temporal_threshold_);
+  if (valid && options_.enable_updater) {
+    updater_->Ingest(fact);
+  }
+  if (options_.auto_refresh && monitor_->ShouldRefresh()) {
+    Refresh();
+  }
+  return scores;
+}
+
+void AnoT::Refresh() {
+  ++refresh_count_;
+  Rebuild();
+}
+
+Explainer AnoT::MakeExplainer() const {
+  return Explainer(graph_.get(), categories_.get(), rules_.get());
+}
+
+}  // namespace anot

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+
+#include "core/builder.h"
+#include "core/explain.h"
+#include "core/monitor.h"
+#include "core/options.h"
+#include "core/scorer.h"
+#include "core/updater.h"
+#include "mining/category_function.h"
+#include "rulegraph/rule_graph.h"
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief Top-level AnoT configuration.
+struct AnoTOptions {
+  DetectorOptions detector;
+  UpdaterOptions updater;
+  MonitorOptions monitor;
+  /// Table 3's "remove updater module" ablation switch.
+  bool enable_updater = true;
+  /// When true, Refresh() runs automatically once the monitor fires.
+  /// (The paper disables refresh during evaluation for fairness, §5.2.)
+  bool auto_refresh = false;
+};
+
+/// \brief The AnoT detector-updater-monitor system (Figure 2).
+///
+/// Quickstart:
+///   AnoT anot = AnoT::Build(offline_tkg, AnoTOptions{});
+///   Scores s = anot.Score(fact);                 // detector
+///   if (s.static_score < thr_s && s.temporal_score < thr_t)
+///     anot.IngestValid(fact);                    // updater + monitor
+///   if (anot.monitor().ShouldRefresh()) anot.Refresh();
+///
+/// The instance owns a private copy of the TKG that grows as knowledge is
+/// ingested; the caller's offline graph is never mutated.
+class AnoT {
+ public:
+  /// Offline phase: copies the preserved TKG, builds the category function
+  /// and the optimal rule graph (Algorithm 1).
+  static AnoT Build(const TemporalKnowledgeGraph& offline,
+                    const AnoTOptions& options);
+
+  /// Detector: Algorithm 2. Does not mutate state.
+  Scores Score(const Fact& fact) const;
+  Scores ScoreWithEvidence(const Fact& fact, Evidence* evidence) const;
+
+  /// Full online step: scores, feeds the monitor, and — when the scores
+  /// clear the validity thresholds and the updater is enabled — ingests
+  /// the knowledge (Algorithm 3). Returns the scores.
+  Scores ProcessArrival(const Fact& fact);
+
+  /// Validity thresholds used by ProcessArrival (tuned on validation in
+  /// the experiment protocol). Facts with static_score <= static_threshold
+  /// and temporal_score <= temporal_threshold are treated as valid.
+  void SetValidityThresholds(double static_threshold,
+                             double temporal_threshold);
+
+  /// Updater path for knowledge already known to be valid.
+  UpdateEffects IngestValid(const Fact& fact);
+
+  /// Rebuilds the category function and rule graph from the current
+  /// (grown) TKG and resets the monitor.
+  void Refresh();
+
+  const TemporalKnowledgeGraph& graph() const { return *graph_; }
+  const CategoryFunction& categories() const { return *categories_; }
+  const RuleGraph& rules() const { return *rules_; }
+  const BuildReport& report() const { return report_; }
+  const Monitor& monitor() const { return *monitor_; }
+  Explainer MakeExplainer() const;
+  const AnoTOptions& options() const { return options_; }
+  size_t refresh_count() const { return refresh_count_; }
+
+ private:
+  AnoT() = default;
+  void Rebuild();
+
+  AnoTOptions options_;
+  std::unique_ptr<TemporalKnowledgeGraph> graph_;
+  std::unique_ptr<CategoryFunction> categories_;
+  std::unique_ptr<RuleGraph> rules_;
+  std::unique_ptr<Scorer> scorer_;
+  std::unique_ptr<Updater> updater_;
+  std::unique_ptr<Monitor> monitor_;
+  BuildReport report_;
+  double static_threshold_ = 1.0;
+  double temporal_threshold_ = 1.0;
+  size_t refresh_count_ = 0;
+};
+
+}  // namespace anot

@@ -1,0 +1,235 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+
+uint64_t EdgeCandidateKey(RuleEdgeKind kind, uint32_t head, uint32_t mid,
+                          uint32_t tail) {
+  uint64_t h = internal::HashMix((static_cast<uint64_t>(head) << 32) | tail);
+  h = internal::HashMix(h ^ mid);
+  return internal::HashMix(
+      h ^ (kind == RuleEdgeKind::kTriadic ? 0xABCDu : 0u));
+}
+
+}  // namespace
+
+CandidateGenerator::CandidateGenerator(const TemporalKnowledgeGraph& graph,
+                                       const CategoryFunction& categories,
+                                       const DetectorOptions& options)
+    : graph_(graph), categories_(categories), options_(options) {}
+
+uint32_t CandidateGenerator::EnsureRule(CandidatePool* pool,
+                                        const AtomicRule& rule) const {
+  auto it = pool->rule_index.find(rule);
+  if (it != pool->rule_index.end()) return it->second;
+  const uint32_t idx = static_cast<uint32_t>(pool->rules.size());
+  RuleCandidate candidate;
+  candidate.rule = rule;
+  pool->rules.push_back(std::move(candidate));
+  pool->rule_index.emplace(rule, idx);
+  return idx;
+}
+
+void CandidateGenerator::GenerateRules(CandidatePool* pool) const {
+  for (FactId id = 0; id < graph_.num_facts(); ++id) {
+    const Fact& f = graph_.fact(id);
+    for (CategoryId cs : categories_.Categories(f.subject)) {
+      for (CategoryId co : categories_.Categories(f.object)) {
+        AtomicRule rule{cs, f.relation, co};
+        uint32_t idx = EnsureRule(pool, rule);
+        RuleCandidate& c = pool->rules[idx];
+        c.assertions.push_back(id);
+        c.subject_entropy.Add(f.subject);
+        c.object_entropy.Add(f.object);
+      }
+    }
+  }
+}
+
+void CandidateGenerator::GenerateChainEdges(CandidatePool* pool) const {
+  std::unordered_map<uint64_t, uint32_t> edge_index;
+  // Deterministic order: sort pair keys.
+  std::vector<uint64_t> pair_keys;
+  pair_keys.reserve(graph_.pair_sequences().size());
+  for (const auto& [key, seq] : graph_.pair_sequences()) {
+    if (seq.size() >= 2) pair_keys.push_back(key);
+  }
+  std::sort(pair_keys.begin(), pair_keys.end());
+
+  for (uint64_t key : pair_keys) {
+    const auto& seq = graph_.pair_sequences().at(key);
+    const EntityId s = static_cast<EntityId>(key >> 32);
+    const EntityId o = static_cast<EntityId>(key & 0xFFFFFFFFu);
+    const auto& subject_cats = categories_.Categories(s);
+    const auto& object_cats = categories_.Categories(o);
+    if (subject_cats.empty() || object_cats.empty()) continue;
+
+    for (size_t n = 1; n < seq.size(); ++n) {
+      const Fact& tail_fact = graph_.fact(seq[n]);
+      const Timestamp tail_time = AnchorTime(tail_fact, options_.tail_anchor);
+      std::unordered_set<RelationId> seen_heads;
+      const size_t lookback = std::min(n, options_.max_pair_lag);
+      for (size_t back = 1; back <= lookback; ++back) {
+        const size_t m = n - back;
+        const Fact& head_fact = graph_.fact(seq[m]);
+        const Timestamp head_time =
+            AnchorTime(head_fact, options_.head_anchor);
+        if (head_time > tail_time) continue;
+        // Most recent occurrence of each head relation only: one
+        // assertion per (edge, tail fact).
+        if (!seen_heads.insert(head_fact.relation).second) continue;
+        const Timestamp span = tail_time - head_time;
+        for (CategoryId cs : subject_cats) {
+          for (CategoryId co : object_cats) {
+            AtomicRule head_rule{cs, head_fact.relation, co};
+            AtomicRule tail_rule{cs, tail_fact.relation, co};
+            const uint32_t head_idx = EnsureRule(pool, head_rule);
+            const uint32_t tail_idx = EnsureRule(pool, tail_rule);
+            const uint64_t ekey = EdgeCandidateKey(
+                RuleEdgeKind::kChain, head_idx, kInvalidId, tail_idx);
+            auto [it, inserted] = edge_index.emplace(
+                ekey, static_cast<uint32_t>(pool->edges.size()));
+            if (inserted) {
+              EdgeCandidate e;
+              e.kind = RuleEdgeKind::kChain;
+              e.head = head_idx;
+              e.mid = kInvalidId;
+              e.tail = tail_idx;
+              pool->edges.push_back(std::move(e));
+            }
+            EdgeCandidate& e = pool->edges[it->second];
+            e.tail_facts.push_back(seq[n]);
+            e.timespans.push_back(span);
+            e.timespan_entropy.Add(static_cast<uint64_t>(
+                span / std::max<Timestamp>(1, options_.timespan_tolerance)));
+          }
+        }
+      }
+    }
+  }
+}
+
+void CandidateGenerator::GenerateTriadicEdges(CandidatePool* pool) const {
+  std::unordered_map<uint64_t, uint32_t> edge_index;
+  const Timestamp window = options_.timespan_tolerance;
+
+  for (FactId id = 0; id < graph_.num_facts(); ++id) {
+    const Fact& f = graph_.fact(id);  // the closing fact (s, r_p, h, t)
+    const EntityId s = f.subject;
+    const EntityId h = f.object;
+    const Timestamp t = AnchorTime(f, options_.tail_anchor);
+    const auto* s_facts = graph_.FactsBySubject(s);
+    if (s_facts == nullptr) continue;
+    const auto& cs_list = categories_.Categories(s);
+    const auto& ch_list = categories_.Categories(h);
+    if (cs_list.empty() || ch_list.empty()) continue;
+
+    // Scan s's most recent facts before t for heads (s, r_m, p, t1).
+    auto upper = std::upper_bound(
+        s_facts->begin(), s_facts->end(), t,
+        [this](Timestamp lhs, FactId rhs) {
+          return lhs < graph_.fact(rhs).time;
+        });
+    size_t emitted = 0;
+    size_t scanned = 0;
+    std::unordered_set<uint64_t> local_edges;
+    for (auto rit = std::make_reverse_iterator(upper);
+         rit != s_facts->rend() && scanned < options_.max_instantiation_scan;
+         ++rit, ++scanned) {
+      if (emitted >= 8) break;
+      const FactId g1_id = *rit;
+      if (g1_id == id) continue;
+      const Fact& g1 = graph_.fact(g1_id);
+      const Timestamp t1 = AnchorTime(g1, options_.head_anchor);
+      if (t1 > t) continue;
+      const EntityId p = g1.object;
+      if (p == h || p == s) continue;
+      // Mid fact (h, r_n, p, t2) co-occurring with g1 within the window.
+      const auto* hp = graph_.FactsForPair(h, p);
+      if (hp == nullptr) continue;
+      FactId g2_id = kInvalidId;
+      Timestamp t2_best = kNoTimestamp;
+      size_t scanned2 = 0;
+      for (auto it2 = hp->rbegin();
+           it2 != hp->rend() && scanned2 < options_.max_instantiation_scan;
+           ++it2, ++scanned2) {
+        const Fact& g2 = graph_.fact(*it2);
+        const Timestamp t2 = AnchorTime(g2, options_.head_anchor);
+        if (t2 > t) continue;
+        if (std::llabs(t2 - t1) > window) continue;
+        g2_id = *it2;
+        t2_best = t2;
+        break;  // most recent valid mid
+      }
+      if (g2_id == kInvalidId) continue;
+      const Fact& g2 = graph_.fact(g2_id);
+      const Timestamp span = t - std::max(t1, t2_best);
+
+      for (CategoryId cs : cs_list) {
+        for (CategoryId ch : ch_list) {
+          for (CategoryId cp : categories_.Categories(p)) {
+            AtomicRule head_rule{cs, g1.relation, cp};
+            AtomicRule mid_rule{ch, g2.relation, cp};
+            AtomicRule tail_rule{cs, f.relation, ch};
+            const uint32_t head_idx = EnsureRule(pool, head_rule);
+            const uint32_t mid_idx = EnsureRule(pool, mid_rule);
+            const uint32_t tail_idx = EnsureRule(pool, tail_rule);
+            const uint64_t ekey = EdgeCandidateKey(
+                RuleEdgeKind::kTriadic, head_idx, mid_idx, tail_idx);
+            // One assertion per (edge, tail fact).
+            if (!local_edges.insert(ekey).second) continue;
+            auto [it, inserted] = edge_index.emplace(
+                ekey, static_cast<uint32_t>(pool->edges.size()));
+            if (inserted) {
+              EdgeCandidate e;
+              e.kind = RuleEdgeKind::kTriadic;
+              e.head = head_idx;
+              e.mid = mid_idx;
+              e.tail = tail_idx;
+              pool->edges.push_back(std::move(e));
+            }
+            EdgeCandidate& e = pool->edges[it->second];
+            e.tail_facts.push_back(id);
+            e.timespans.push_back(span);
+            e.timespan_entropy.Add(static_cast<uint64_t>(
+                span / std::max<Timestamp>(1, options_.timespan_tolerance)));
+          }
+        }
+      }
+      ++emitted;
+    }
+  }
+}
+
+CandidatePool CandidateGenerator::Generate() const {
+  CandidatePool pool;
+  GenerateRules(&pool);
+  GenerateChainEdges(&pool);
+  if (options_.use_triadic) GenerateTriadicEdges(&pool);
+
+  if (pool.edges.size() > options_.max_candidate_edges) {
+    // Keep the highest-support edges; stable/deterministic.
+    std::vector<uint32_t> order(pool.edges.size());
+    for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return pool.edges[a].support() >
+                              pool.edges[b].support();
+                     });
+    order.resize(options_.max_candidate_edges);
+    std::sort(order.begin(), order.end());
+    std::vector<EdgeCandidate> kept;
+    kept.reserve(order.size());
+    for (uint32_t i : order) kept.push_back(std::move(pool.edges[i]));
+    pool.edges = std::move(kept);
+  }
+  return pool;
+}
+
+}  // namespace anot

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "mdl/encoding.h"
+#include "mining/category_function.h"
+#include "rulegraph/rule_graph.h"
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief A candidate atomic rule with its correct assertions (§4.3.2).
+struct RuleCandidate {
+  AtomicRule rule;
+  /// Facts this rule describes (A_v).
+  std::vector<FactId> assertions;
+  /// Optimal-prefix-code accounting for Eq. 6.
+  EntropyAccumulator subject_entropy;
+  EntropyAccumulator object_entropy;
+  /// Model + assertion bits, filled by the builder.
+  double model_bits = 0.0;
+  double assertion_bits = 0.0;
+};
+
+/// \brief A candidate rule edge with its assertions and timespans.
+///
+/// Each assertion is anchored on its *tail fact*: a tail fact is counted
+/// at most once per edge (paired with its most recent head instantiation),
+/// which bounds |A_e| <= |A_tail| and keeps Eq. 7 affordable.
+///
+/// Assertion encoding (Eq. 7 realization): given the edge and the TKG, the
+/// head partner is *determined* by the instantiation procedure (most
+/// recent matching fact), so the only residual information per assertion
+/// is its occurrence timespan. We charge a prefix code over timespans
+/// bucketed at the tolerance L: edges with consistent timing are cheap to
+/// describe and win selection; incidental co-occurrences with scattered
+/// timespans stay expensive.
+struct EdgeCandidate {
+  RuleEdgeKind kind = RuleEdgeKind::kChain;
+  uint32_t head = 0;  // indexes into the RuleCandidate vector
+  uint32_t mid = 0;   // unused for chain edges
+  uint32_t tail = 0;
+  std::vector<FactId> tail_facts;
+  std::vector<Timestamp> timespans;  // parallel to tail_facts
+  EntropyAccumulator timespan_entropy;
+  double model_bits = 0.0;
+  double assertion_bits = 0.0;
+
+  size_t support() const { return tail_facts.size(); }
+};
+
+/// \brief Candidate pools generated from the offline TKG.
+struct CandidatePool {
+  std::vector<RuleCandidate> rules;
+  std::vector<EdgeCandidate> edges;
+  /// rule -> index in `rules`.
+  std::unordered_map<AtomicRule, uint32_t, AtomicRuleHash> rule_index;
+};
+
+/// \brief Generates candidate atomic rules and rule edges (§4.3.2).
+///
+/// Atomic rules: every (c_s, r, c_o) with c_s ∈ C(s), c_o ∈ C(o) observed
+/// on some fact. Chain edges: ordered relation pairs within each entity
+/// pair's interaction sequence (bounded lookback). Triadic edges: closures
+/// (s,r_m,p), (h,r_n,p) co-occurring within L followed by (s,r_p,h).
+class CandidateGenerator {
+ public:
+  CandidateGenerator(const TemporalKnowledgeGraph& graph,
+                     const CategoryFunction& categories,
+                     const DetectorOptions& options);
+
+  /// Runs generation. Edges beyond options.max_candidate_edges are dropped
+  /// lowest-support-first (deterministically).
+  CandidatePool Generate() const;
+
+ private:
+  void GenerateRules(CandidatePool* pool) const;
+  void GenerateChainEdges(CandidatePool* pool) const;
+  void GenerateTriadicEdges(CandidatePool* pool) const;
+  uint32_t EnsureRule(CandidatePool* pool, const AtomicRule& rule) const;
+
+  const TemporalKnowledgeGraph& graph_;
+  const CategoryFunction& categories_;
+  const DetectorOptions& options_;
+};
+
+}  // namespace anot

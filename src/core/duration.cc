@@ -1,0 +1,119 @@
+#include "core/duration.h"
+
+#include "util/logging.h"
+
+namespace anot {
+
+const char* DurationStrategyName(DurationStrategy strategy) {
+  switch (strategy) {
+    case DurationStrategy::kFourGraphs: return "four-graphs";
+    case DurationStrategy::kStartOnly: return "start-only";
+    case DurationStrategy::kEndOnly: return "end-only";
+    case DurationStrategy::kAverage: return "midpoint-average";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<TemporalKnowledgeGraph> MidpointGraph(
+    const TemporalKnowledgeGraph& src) {
+  auto out = std::make_unique<TemporalKnowledgeGraph>();
+  for (size_t e = 0; e < src.entity_dict().size(); ++e) {
+    out->entity_dict().GetOrAdd(src.entity_dict().Name(e));
+  }
+  for (size_t r = 0; r < src.relation_dict().size(); ++r) {
+    out->relation_dict().GetOrAdd(src.relation_dict().Name(r));
+  }
+  for (const Fact& f : src.facts()) {
+    const Timestamp mid = f.time + (f.end - f.time) / 2;
+    out->AddFact(Fact(f.subject, f.relation, f.object, mid));
+  }
+  return out;
+}
+
+}  // namespace
+
+Fact DurationAnoT::Remap(const Fact& fact) const {
+  if (strategy_ != DurationStrategy::kAverage) return fact;
+  const Timestamp mid = fact.time + (fact.end - fact.time) / 2;
+  return Fact(fact.subject, fact.relation, fact.object, mid);
+}
+
+DurationAnoT DurationAnoT::Build(const TemporalKnowledgeGraph& offline,
+                                 const AnoTOptions& options,
+                                 DurationStrategy strategy) {
+  DurationAnoT out;
+  out.strategy_ = strategy;
+
+  struct ViewSpec {
+    const char* name;
+    TimeAnchor head;
+    TimeAnchor tail;
+  };
+  std::vector<ViewSpec> specs;
+  switch (strategy) {
+    case DurationStrategy::kFourGraphs:
+      specs = {{"ST-ST", TimeAnchor::kStart, TimeAnchor::kStart},
+               {"ED-ED", TimeAnchor::kEnd, TimeAnchor::kEnd},
+               {"ST-ED", TimeAnchor::kStart, TimeAnchor::kEnd},
+               {"ED-ST", TimeAnchor::kEnd, TimeAnchor::kStart}};
+      break;
+    case DurationStrategy::kStartOnly:
+      specs = {{"ST-ST", TimeAnchor::kStart, TimeAnchor::kStart}};
+      break;
+    case DurationStrategy::kEndOnly:
+      specs = {{"ED-ED", TimeAnchor::kEnd, TimeAnchor::kEnd}};
+      break;
+    case DurationStrategy::kAverage:
+      specs = {{"MID", TimeAnchor::kStart, TimeAnchor::kStart}};
+      break;
+  }
+
+  for (const ViewSpec& spec : specs) {
+    AnoTOptions view_options = options;
+    view_options.detector.head_anchor = spec.head;
+    view_options.detector.tail_anchor = spec.tail;
+    if (strategy == DurationStrategy::kAverage) {
+      auto mid_graph = MidpointGraph(offline);
+      out.views_.push_back(
+          std::make_unique<AnoT>(AnoT::Build(*mid_graph, view_options)));
+    } else {
+      out.views_.push_back(
+          std::make_unique<AnoT>(AnoT::Build(offline, view_options)));
+    }
+    out.view_names_.emplace_back(spec.name);
+  }
+  return out;
+}
+
+Scores DurationAnoT::Score(const Fact& fact) const {
+  ANOT_CHECK(!views_.empty());
+  const Fact remapped = Remap(fact);
+  Scores total;
+  uint32_t evaluated = 0;
+  for (const auto& view : views_) {
+    const Scores s = view->Score(remapped);
+    total.static_score += s.static_score;
+    total.temporal_score += s.temporal_score;
+    total.static_support += s.static_support;
+    total.temporal_support += s.temporal_support;
+    total.out_violations += s.out_violations;
+    total.associated = total.associated || s.associated;
+    evaluated += s.temporal_evaluated ? 1 : 0;
+  }
+  const double n = static_cast<double>(views_.size());
+  total.static_score /= n;
+  total.temporal_score /= n;
+  total.static_support /= n;
+  total.temporal_support /= n;
+  total.temporal_evaluated = evaluated > 0;
+  return total;
+}
+
+void DurationAnoT::IngestValid(const Fact& fact) {
+  const Fact remapped = Remap(fact);
+  for (auto& view : views_) view->IngestValid(remapped);
+}
+
+}  // namespace anot

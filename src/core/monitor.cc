@@ -1,0 +1,70 @@
+#include "core/monitor.h"
+
+#include "util/logging.h"
+
+namespace anot {
+
+Monitor::Monitor(double training_negative_bits, size_t training_timestamps,
+                 double tier1_universe, double tier2_universe,
+                 const MonitorOptions& options)
+    : pricing_(tier1_universe, tier2_universe),
+      options_(options),
+      training_bits_(training_negative_bits),
+      training_timestamps_(training_timestamps) {}
+
+void Monitor::CloseBucket() {
+  if (!bucket_open_) return;
+  online_bits_ +=
+      pricing_.CostAt(bucket_total_, bucket_mapped_, bucket_associated_);
+  ++online_timestamps_;
+  bucket_open_ = false;
+  bucket_total_ = bucket_mapped_ = bucket_associated_ = 0;
+}
+
+void Monitor::Observe(Timestamp t, bool mapped, bool associated) {
+  if (bucket_open_ && t != bucket_time_) CloseBucket();
+  bucket_open_ = true;
+  bucket_time_ = t;
+  ++bucket_total_;
+  bucket_mapped_ += mapped ? 1 : 0;
+  bucket_associated_ += (mapped && associated) ? 1 : 0;
+}
+
+void Monitor::Flush() { CloseBucket(); }
+
+bool Monitor::ShouldRefresh() const {
+  double pending = online_bits_;
+  size_t pending_ts = online_timestamps_;
+  if (bucket_open_) {
+    pending +=
+        pricing_.CostAt(bucket_total_, bucket_mapped_, bucket_associated_);
+    ++pending_ts;
+  }
+  switch (options_.mode) {
+    case MonitorOptions::Mode::kTotalBudget:
+      // Eq. 11 as printed: refresh once unseen data costs more than the
+      // training data did.
+      return pending > training_bits_;
+    case MonitorOptions::Mode::kPerTimestamp: {
+      if (pending_ts == 0 || training_timestamps_ == 0) return false;
+      const double online_mean =
+          pending / static_cast<double>(pending_ts);
+      const double train_mean =
+          training_bits_ / static_cast<double>(training_timestamps_);
+      return online_mean > train_mean * options_.slack;
+    }
+  }
+  return false;
+}
+
+void Monitor::Reset(double training_negative_bits,
+                    size_t training_timestamps) {
+  training_bits_ = training_negative_bits;
+  training_timestamps_ = training_timestamps;
+  online_bits_ = 0.0;
+  online_timestamps_ = 0;
+  bucket_open_ = false;
+  bucket_total_ = bucket_mapped_ = bucket_associated_ = 0;
+}
+
+}  // namespace anot

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "core/options.h"
+#include "mdl/ledger.h"
+#include "tkg/types.h"
+
+namespace anot {
+
+/// \brief Rule-graph availability monitor (§4.5, Eq. 11).
+///
+/// Accumulates the negative-error encoding cost L(N_Go) of knowledge that
+/// arrived after the offline build and signals a refresh when the rule
+/// graph describes unseen data worse than the data it was built on.
+class Monitor {
+ public:
+  /// `training_negative_bits` is the builder's L(N_G); `training_timestamps`
+  /// its timestamp count. Universe sizes must match the builder's ledger.
+  Monitor(double training_negative_bits, size_t training_timestamps,
+          double tier1_universe, double tier2_universe,
+          const MonitorOptions& options);
+
+  /// Feeds one observed arrival. Facts are bucketed per timestamp; a
+  /// bucket is priced when the stream advances past it (or on Flush).
+  void Observe(Timestamp t, bool mapped, bool associated);
+
+  /// Prices any open bucket (call at end of stream).
+  void Flush();
+
+  /// Eq. 11 accumulated online negative cost.
+  double online_negative_bits() const { return online_bits_; }
+  size_t online_timestamps() const { return online_timestamps_; }
+
+  /// True when the refresh condition holds (L(N_Go) > L(N_G), or the
+  /// per-timestamp mean exceeds the training mean in kPerTimestamp mode).
+  bool ShouldRefresh() const;
+
+  /// Resets the online accumulation after a refresh, adopting the new
+  /// training budget.
+  void Reset(double training_negative_bits, size_t training_timestamps);
+
+ private:
+  void CloseBucket();
+
+  NegativeErrorLedger pricing_;  // used only for CostAt (stateless pricing)
+  MonitorOptions options_;
+  double training_bits_;
+  size_t training_timestamps_;
+
+  double online_bits_ = 0.0;
+  size_t online_timestamps_ = 0;
+
+  bool bucket_open_ = false;
+  Timestamp bucket_time_ = kNoTimestamp;
+  uint32_t bucket_total_ = 0;
+  uint32_t bucket_mapped_ = 0;
+  uint32_t bucket_associated_ = 0;
+};
+
+}  // namespace anot

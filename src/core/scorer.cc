@@ -1,0 +1,318 @@
+#include "core/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+constexpr double kEpsilonSupport = 1e-9;
+}
+
+Scorer::Scorer(const TemporalKnowledgeGraph* graph,
+               const CategoryFunction* categories, const RuleGraph* rules,
+               const DetectorOptions* options)
+    : graph_(graph),
+      categories_(categories),
+      rules_(rules),
+      options_(options) {
+  ANOT_CHECK(graph_ && categories_ && rules_ && options_);
+}
+
+bool Scorer::RuleMatchesFact(const AtomicRule& rule, EntityId subject,
+                             RelationId relation, EntityId object) const {
+  if (rule.relation != relation) return false;
+  const auto& cs = categories_->Categories(subject);
+  if (!std::binary_search(cs.begin(), cs.end(), rule.subject_category)) {
+    return false;
+  }
+  const auto& co = categories_->Categories(object);
+  return std::binary_search(co.begin(), co.end(), rule.object_category);
+}
+
+std::vector<RuleId> Scorer::MapToRules(const Fact& fact) const {
+  std::vector<RuleId> mapped;
+  for (CategoryId cs : categories_->Categories(fact.subject)) {
+    for (CategoryId co : categories_->Categories(fact.object)) {
+      auto id = rules_->FindRule(AtomicRule{cs, fact.relation, co});
+      if (id.has_value()) mapped.push_back(*id);
+    }
+  }
+  std::sort(mapped.begin(), mapped.end());
+  mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+  return mapped;
+}
+
+double Scorer::RuleWeight(RuleId rule) const {
+  if (options_->unit_rule_weight) return 1.0;
+  return std::max<uint32_t>(1, rules_->support(rule));
+}
+
+uint32_t Scorer::CountAgreements(const RuleEdge& edge,
+                                 Timestamp delta) const {
+  const Timestamp tolerance = options_->timespan_tolerance;
+  uint32_t agree = 0;
+  for (Timestamp span : edge.timespans) {
+    if (std::llabs(span - delta) <= tolerance) ++agree;
+  }
+  return agree;
+}
+
+double Scorer::EvidenceWeight(const RuleEdge& edge,
+                              const Instantiation& inst) const {
+  const double weight = RuleWeight(edge.tail);
+  switch (options_->theta_mode) {
+    case ThetaMode::kAsPrinted:
+      // Literal Eq. 10: x = |A_v| / (θ + 1) with θ the agreement count.
+      return weight / (static_cast<double>(inst.agreements) + 1.0);
+    case ThetaMode::kMismatch:
+      // Prose semantics ("θ indicates the gap"), normalized: evidence is
+      // proportional to the empirical probability that the observed
+      // timespan is typical for this edge.
+      return weight * (1.0 + static_cast<double>(inst.agreements)) /
+             (1.0 + static_cast<double>(edge.timespans.size()));
+  }
+  return 0.0;
+}
+
+std::optional<Instantiation> Scorer::TryInstantiate(const RuleEdge& edge,
+                                                    const Fact& fact) const {
+  const Timestamp tail_time = AnchorTime(fact, options_->tail_anchor);
+  const AtomicRule& head_rule = rules_->rule(edge.head);
+
+  if (edge.kind == RuleEdgeKind::kChain) {
+    // A prior fact of the head rule on the same (s, o) pair. Evidence is
+    // existential, so among admissible witnesses we keep the one whose
+    // timespan agrees best with T(e) (minimal θ).
+    const auto* seq = graph_->FactsForPair(fact.subject, fact.object);
+    if (seq == nullptr) return std::nullopt;
+    std::optional<Instantiation> best;
+    size_t scanned = 0;
+    for (auto it = seq->rbegin();
+         it != seq->rend() && scanned < options_->max_instantiation_scan;
+         ++it, ++scanned) {
+      const Fact& g = graph_->fact(*it);
+      const Timestamp head_time = AnchorTime(g, options_->head_anchor);
+      if (head_time > tail_time) continue;
+      if (g == fact) continue;
+      if (!RuleMatchesFact(head_rule, g.subject, g.relation, g.object)) {
+        continue;
+      }
+      Instantiation inst{*it, tail_time - head_time, 0};
+      inst.agreements = CountAgreements(edge, inst.delta);
+      if (!best.has_value() || inst.agreements > best->agreements) {
+        best = inst;
+      }
+      if (best->agreements == edge.timespans.size()) break;  // maximal
+    }
+    return best;
+  }
+
+  // Triadic: prior facts (s, r_m, p) and (o, r_n, p) co-occurring within L.
+  const AtomicRule& mid_rule = rules_->rule(edge.mid);
+  const auto* s_facts = graph_->FactsBySubject(fact.subject);
+  if (s_facts == nullptr) return std::nullopt;
+  const Timestamp window = options_->timespan_tolerance;
+  std::optional<Instantiation> best;
+  size_t scanned = 0;
+  for (auto it = s_facts->rbegin();
+       it != s_facts->rend() && scanned < options_->max_instantiation_scan;
+       ++it, ++scanned) {
+    const Fact& g1 = graph_->fact(*it);
+    const Timestamp t1 = AnchorTime(g1, options_->head_anchor);
+    if (t1 > tail_time) continue;
+    if (g1 == fact) continue;
+    const EntityId p = g1.object;
+    if (p == fact.object || p == fact.subject) continue;
+    if (!RuleMatchesFact(head_rule, g1.subject, g1.relation, p)) continue;
+    const auto* op = graph_->FactsForPair(fact.object, p);
+    if (op == nullptr) continue;
+    size_t scanned2 = 0;
+    for (auto it2 = op->rbegin();
+         it2 != op->rend() && scanned2 < options_->max_instantiation_scan;
+         ++it2, ++scanned2) {
+      const Fact& g2 = graph_->fact(*it2);
+      const Timestamp t2 = AnchorTime(g2, options_->head_anchor);
+      if (t2 > tail_time) continue;
+      if (std::llabs(t2 - t1) > window) continue;
+      if (!RuleMatchesFact(mid_rule, g2.subject, g2.relation, g2.object)) {
+        continue;
+      }
+      Instantiation inst{*it, tail_time - std::max(t1, t2), 0};
+      inst.agreements = CountAgreements(edge, inst.delta);
+      if (!best.has_value() || inst.agreements > best->agreements) {
+        best = inst;
+      }
+      break;  // most recent admissible mid for this head
+    }
+    if (best.has_value() && best->agreements == edge.timespans.size()) {
+      break;
+    }
+  }
+  return best;
+}
+
+Scorer::EdgeEvidence Scorer::EvidenceForEdge(RuleEdgeId edge_id,
+                                             const Fact& fact, int depth,
+                                             std::vector<uint8_t>* visited,
+                                             Evidence* evidence) const {
+  if ((*visited)[edge_id]) return {};
+  (*visited)[edge_id] = 1;
+  const RuleEdge& edge = rules_->edge(edge_id);
+
+  auto inst = TryInstantiate(edge, fact);
+  if (inst.has_value()) {
+    EdgeEvidence out;
+    out.support = EvidenceWeight(edge, *inst);
+    if (options_->theta_mode == ThetaMode::kMismatch) {
+      // Fraction of preserved timespans the observation disagrees with:
+      // conflict evidence of a time error.
+      out.conflict = 1.0 - (1.0 + static_cast<double>(inst->agreements)) /
+                               (1.0 + static_cast<double>(
+                                          edge.timespans.size()));
+    }
+    if (evidence != nullptr) {
+      const uint32_t disagreement =
+          static_cast<uint32_t>(edge.timespans.size()) - inst->agreements;
+      evidence->precursors.push_back(Evidence::Precursor{
+          edge_id, edge.head, depth, true, inst->witness, inst->delta,
+          disagreement});
+    }
+    return out;
+  }
+
+  if (evidence != nullptr) {
+    evidence->precursors.push_back(Evidence::Precursor{
+        edge_id, edge.head, depth, false, kInvalidId, 0, 0});
+  }
+  // Recursive strategy: use the precursor's own precursors as alternative
+  // evidence, up to K hops (Alg. 2 lines 16-21).
+  EdgeEvidence out;
+  if (options_->use_recursion &&
+      depth + 1 < static_cast<int>(options_->max_recursion_steps)) {
+    for (RuleEdgeId in_edge : rules_->InEdges(edge.head)) {
+      EdgeEvidence child =
+          EvidenceForEdge(in_edge, fact, depth + 1, visited, evidence);
+      out.support += child.support;
+    }
+  }
+  // An unmet precursor expectation is conflict evidence at the top level,
+  // but only for *obligatory* chain edges: the precursor historically
+  // accompanied most tail occurrences (empirical P(head | tail) high),
+  // the statistics are non-trivial, the pattern is one-shot (recurrent
+  // tails legitimately re-occur without fresh precursors), and the edge
+  // is not a self-loop (an uninstantiated self-loop is just a first
+  // occurrence).
+  if (depth == 0 && out.support == 0.0 &&
+      edge.kind == RuleEdgeKind::kChain && edge.head != edge.tail &&
+      !rules_->recurrent(edge.tail) && edge.timespans.size() >= 4) {
+    const double obligation =
+        static_cast<double>(edge.support) /
+        std::max<double>(1.0, rules_->support(edge.tail));
+    if (obligation >= 0.33) out.conflict += 1.0;
+  }
+  return out;
+}
+
+Scores Scorer::Score(const Fact& fact, Evidence* evidence) const {
+  Scores scores;
+
+  // ---- Static score (Eq. 9) ----------------------------------------------
+  const std::vector<RuleId> mapped = MapToRules(fact);
+  for (RuleId id : mapped) {
+    const bool is_static = rules_->static_selected(id);
+    if (is_static) scores.static_support += RuleWeight(id);
+    if (evidence != nullptr) {
+      evidence->mapped.push_back(
+          Evidence::MappedRule{id, rules_->support(id), is_static});
+    }
+  }
+  scores.static_score = 1.0 / (scores.static_support + kEpsilonSupport);
+
+  // ---- λ gate (Alg. 2 line 8) ----------------------------------------------
+  if (scores.static_support < options_->lambda) {
+    // Gated knowledge is a *conceptual*-error candidate; no temporal
+    // conflict evidence is gathered, so it ranks at the bottom of the
+    // time-error task (Algorithm 2 returns S only).
+    scores.temporal_score = 0.0;
+    return scores;
+  }
+  scores.temporal_evaluated = true;
+
+  // ---- Temporal score (Eq. 10) ----------------------------------------------
+  std::vector<uint8_t> visited(rules_->num_edges(), 0);
+  for (RuleId id : mapped) {
+    for (RuleEdgeId in_edge : rules_->InEdges(id)) {
+      EdgeEvidence e = EvidenceForEdge(in_edge, fact, 0, &visited, evidence);
+      scores.temporal_support += e.support;
+      scores.temporal_conflict += e.conflict;
+    }
+  }
+  // Association flag for the monitor: a depth-0 in-edge instantiation
+  // means the fact is "associated with a previous fact via a rule edge".
+  if (scores.temporal_support > 0.0) {
+    for (RuleId id : mapped) {
+      for (RuleEdgeId in_edge : rules_->InEdges(id)) {
+        if (TryInstantiate(rules_->edge(in_edge), fact).has_value()) {
+          scores.associated = true;
+          break;
+        }
+      }
+      if (scores.associated) break;
+    }
+  }
+
+  // ---- Out-edge violations (Eq. 10 extension) -------------------------------
+  if (options_->use_out_edge_violations) {
+    for (RuleId id : mapped) {
+      for (RuleEdgeId out_id : rules_->OutEdges(id)) {
+        const RuleEdge& edge = rules_->edge(out_id);
+        if (edge.kind != RuleEdgeKind::kChain) continue;
+        if (edge.head != id) continue;
+        // Self-loops and recurrent successors: an earlier occurrence of a
+        // repeating pattern is expected, not an order conflict.
+        if (edge.tail == id) continue;
+        if (rules_->recurrent(edge.tail)) continue;
+        // The successor pattern already occurred before this knowledge:
+        // an occurrence-order conflict.
+        const AtomicRule& tail_rule = rules_->rule(edge.tail);
+        const auto* seq = graph_->FactsForPair(fact.subject, fact.object);
+        if (seq == nullptr) continue;
+        size_t scanned = 0;
+        for (auto it = seq->rbegin();
+             it != seq->rend() &&
+             scanned < options_->max_instantiation_scan;
+             ++it, ++scanned) {
+          const Fact& g = graph_->fact(*it);
+          if (g == fact) continue;
+          if (AnchorTime(g, options_->tail_anchor) >
+              AnchorTime(fact, options_->head_anchor)) {
+            continue;
+          }
+          if (RuleMatchesFact(tail_rule, g.subject, g.relation, g.object)) {
+            ++scores.out_violations;
+            if (evidence != nullptr) evidence->violations.push_back(out_id);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const double numerator =
+      1.0 + options_->conflict_weight *
+                (static_cast<double>(scores.out_violations) +
+                 scores.temporal_conflict);
+  const double base_evidence =
+      options_->temporal_base_weight * scores.static_support;
+  // The +1 bounds zero-signal knowledge (no expectations, no conflicts)
+  // at a neutral score <= 1; conflict evidence pushes above 1, gathered
+  // support pulls towards 0.
+  scores.temporal_score =
+      numerator / (1.0 + scores.temporal_support + base_evidence);
+  return scores;
+}
+
+}  // namespace anot

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/options.h"
+#include "mining/category_function.h"
+#include "rulegraph/rule_graph.h"
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief Anomaly scores for one piece of knowledge (Algorithm 2).
+///
+/// Higher static score => more likely a conceptual error (Eq. 9).
+/// Higher temporal score => more likely a time error (Eq. 10).
+/// High combined *support* on a fact absent from the TKG => missing error.
+struct Scores {
+  double static_score = 0.0;
+  double temporal_score = 0.0;
+  /// Σ |A_v| over mapped static rules (denominator of Eq. 9).
+  double static_support = 0.0;
+  /// Σ x over reachable precursors (denominator of Eq. 10).
+  double temporal_support = 0.0;
+  /// Conflict mass (numerator of the extended Eq. 10): timespan
+  /// disagreement of instantiated precursors plus unmet one-shot
+  /// precursor expectations. Time errors are *conflicts* with preserved
+  /// knowledge (§1), so absence of any expectation contributes nothing.
+  double temporal_conflict = 0.0;
+  /// Instantiable out-edges (the Eq. 10 extension's numerator term).
+  uint32_t out_violations = 0;
+  /// False when λ-gated (Alg. 2 line 8) — temporal evidence not gathered.
+  bool temporal_evaluated = false;
+  /// True when at least one in-edge was instantiated at depth 0; feeds the
+  /// monitor's association counter.
+  bool associated = false;
+
+  /// Ranking score for missing-error detection: absent facts with high
+  /// support "comply with the patterns" and are likely missing (§4.3.4).
+  double missing_support() const {
+    return static_support + temporal_support;
+  }
+};
+
+/// \brief Interpretable byproduct of scoring (§4.3.4, RQ4).
+struct Evidence {
+  struct MappedRule {
+    RuleId rule;
+    uint32_t support;
+    bool static_selected;
+  };
+  /// Rules the knowledge maps to (existence evidence of validity).
+  std::vector<MappedRule> mapped;
+
+  struct Precursor {
+    RuleEdgeId edge;
+    RuleId precursor;
+    int depth;
+    bool instantiated;
+    FactId witness;       // instantiating fact, when found
+    Timestamp delta;      // observed timespan
+    uint32_t theta;       // timespan disagreement count
+  };
+  /// Walk results: instantiated precursors support occurrence; failed ones
+  /// are missing-knowledge prompts.
+  std::vector<Precursor> precursors;
+
+  /// Out-edges already instantiated by *earlier* facts: occurrence-order
+  /// violations (evidence of a time error).
+  std::vector<RuleEdgeId> violations;
+};
+
+/// \brief One instantiation of a rule edge against concrete knowledge.
+struct Instantiation {
+  FactId witness = kInvalidId;
+  Timestamp delta = 0;  // tail anchor minus head anchor
+  /// Number of preserved timespans τ ∈ T(e) with |τ - delta| <= L. Among
+  /// admissible witnesses the one with the most agreement is chosen:
+  /// evidence is existential, so the best-supported instantiation decides.
+  uint32_t agreements = 0;
+};
+
+/// \brief Derives static and temporal scores by walking the rule graph.
+///
+/// The scorer borrows (does not own) the TKG, the category function and
+/// the rule graph; all three may be advanced by the updater between calls.
+class Scorer {
+ public:
+  Scorer(const TemporalKnowledgeGraph* graph,
+         const CategoryFunction* categories, const RuleGraph* rules,
+         const DetectorOptions* options);
+
+  /// Algorithm 2 end to end. `evidence` may be nullptr.
+  Scores Score(const Fact& fact, Evidence* evidence = nullptr) const;
+
+  /// Rule nodes the fact maps to (any selection status).
+  std::vector<RuleId> MapToRules(const Fact& fact) const;
+
+  /// Tries to instantiate `edge` as a precursor of `fact`: is there
+  /// concrete prior knowledge matching the edge's head (and mid) pattern
+  /// that the new knowledge could follow? Exposed for the updater's
+  /// timespan bookkeeping.
+  std::optional<Instantiation> TryInstantiate(const RuleEdge& edge,
+                                              const Fact& fact) const;
+
+ private:
+  bool RuleMatchesFact(const AtomicRule& rule, EntityId subject,
+                       RelationId relation, EntityId object) const;
+  struct EdgeEvidence {
+    double support = 0.0;
+    double conflict = 0.0;
+  };
+  EdgeEvidence EvidenceForEdge(RuleEdgeId edge_id, const Fact& fact,
+                               int depth, std::vector<uint8_t>* visited,
+                               Evidence* evidence) const;
+  uint32_t CountAgreements(const RuleEdge& edge, Timestamp delta) const;
+  /// Evidence weight x of Eq. 10 for one instantiation, per ThetaMode.
+  double EvidenceWeight(const RuleEdge& edge,
+                        const Instantiation& inst) const;
+  double RuleWeight(RuleId rule) const;
+
+  const TemporalKnowledgeGraph* graph_;
+  const CategoryFunction* categories_;
+  const RuleGraph* rules_;
+  const DetectorOptions* options_;
+};
+
+}  // namespace anot

@@ -1,0 +1,134 @@
+#include "core/updater.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace anot {
+
+Updater::Updater(TemporalKnowledgeGraph* graph, CategoryFunction* categories,
+                 RuleGraph* rules, const DetectorOptions* detector_options,
+                 const UpdaterOptions& options)
+    : graph_(graph),
+      categories_(categories),
+      rules_(rules),
+      detector_options_(detector_options),
+      options_(options),
+      scorer_(graph, categories, rules, detector_options) {
+  ANOT_CHECK(graph_ && categories_ && rules_);
+}
+
+bool Updater::ShouldAdmitRule(const AtomicRule& rule,
+                              uint32_t online_support) const {
+  if (online_support < options_.new_rule_min_support) return false;
+  // Marginal MDL test: the tier-1 savings of the supporting facts must
+  // exceed a conservative estimate of the rule's model cost
+  // (log2 |C_E| + 2 log2 |E| + log2 |R| + 1 ≈ AtomicRuleBits upper bound).
+  (void)rule;
+  const double e = std::max<double>(2.0, graph_->num_entities());
+  const double r = std::max<double>(2.0, graph_->num_relations());
+  const double per_fact_savings = std::log2(e * e * r);
+  const double approx_rule_cost =
+      std::log2(std::max<double>(2.0, categories_->num_categories())) +
+      2.0 * std::log2(e) + std::log2(r) + 1.0;
+  return static_cast<double>(online_support) * per_fact_savings >
+         approx_rule_cost;
+}
+
+UpdateEffects Updater::Ingest(const Fact& fact) {
+  UpdateEffects effects;
+
+  // ---- Entity semantic changes (Alg. 3 lines 4-9) --------------------------
+  // Token novelty must be checked before the fact lands in the graph.
+  const uint32_t s_token = OutRelationToken(fact.relation);
+  const uint32_t o_token = InRelationToken(fact.relation);
+  const bool new_s_token =
+      graph_->RelationTokens(fact.subject).count(s_token) == 0;
+  const bool new_o_token =
+      graph_->RelationTokens(fact.object).count(o_token) == 0;
+
+  // ---- Graph structure changes (Alg. 3 line 3) ------------------------------
+  graph_->AddFact(fact);
+  effects.added_fact = true;
+
+  if (new_s_token) {
+    if (categories_->UpdateEntity(fact.subject, s_token, *graph_) !=
+        kInvalidId) {
+      ++effects.new_entity_categories;
+    }
+  }
+  if (new_o_token) {
+    if (categories_->UpdateEntity(fact.object, o_token, *graph_) !=
+        kInvalidId) {
+      ++effects.new_entity_categories;
+    }
+  }
+
+  // ---- Graph pattern changes (Alg. 3 lines 10-14) ---------------------------
+  const auto& subject_cats = categories_->Categories(fact.subject);
+  const auto& object_cats = categories_->Categories(fact.object);
+  for (CategoryId cs : subject_cats) {
+    for (CategoryId co : object_cats) {
+      const AtomicRule rule{cs, fact.relation, co};
+      auto existing = rules_->FindRule(rule);
+      if (existing.has_value()) {
+        // Known pattern: refresh its support (used by Eqs. 9-10).
+        rules_->AddSupport(*existing, 1);
+        continue;
+      }
+      const uint32_t support = ++pending_rules_[rule];
+      if (!ShouldAdmitRule(rule, support)) continue;
+      pending_rules_.erase(rule);
+      const RuleId added = rules_->AddRule(rule, /*static_selected=*/true);
+      rules_->SetSupport(added, support);
+      ++effects.new_rule_nodes;
+
+      // Wire chain edges from temporally close facts of the same pair
+      // (Alg. 3 lines 13-14; chain-based associations only, §4.4).
+      const auto* seq =
+          graph_->FactsForPair(fact.subject, fact.object);
+      if (seq == nullptr) continue;
+      const Timestamp tail_time =
+          AnchorTime(fact, detector_options_->tail_anchor);
+      size_t scanned = 0;
+      for (auto it = seq->rbegin();
+           it != seq->rend() &&
+           scanned < detector_options_->max_instantiation_scan;
+           ++it, ++scanned) {
+        const Fact& prev = graph_->fact(*it);
+        if (prev == fact) continue;
+        const Timestamp head_time =
+            AnchorTime(prev, detector_options_->head_anchor);
+        if (head_time > tail_time) continue;
+        if (tail_time - head_time > detector_options_->timespan_tolerance) {
+          break;  // sequence is time-sorted: older facts only get farther
+        }
+        const AtomicRule prev_rule{cs, prev.relation, co};
+        auto head_id = rules_->FindRule(prev_rule);
+        if (!head_id.has_value()) continue;
+        RuleEdge edge;
+        edge.kind = RuleEdgeKind::kChain;
+        edge.head = *head_id;
+        edge.tail = added;
+        edge.timespans = {tail_time - head_time};
+        edge.support = 1;
+        rules_->AddEdge(edge);
+        ++effects.new_rule_edges;
+      }
+    }
+  }
+
+  // ---- Timespan distribution changes (Alg. 3 line 15) -----------------------
+  for (RuleId mapped : scorer_.MapToRules(fact)) {
+    for (RuleEdgeId in_edge : rules_->InEdges(mapped)) {
+      auto inst = scorer_.TryInstantiate(rules_->edge(in_edge), fact);
+      if (!inst.has_value()) continue;
+      rules_->AddTimespan(in_edge, inst->delta);
+      rules_->mutable_edge(in_edge).support += 1;
+      ++effects.timespans_recorded;
+    }
+  }
+  return effects;
+}
+
+}  // namespace anot

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "core/options.h"
+#include "core/scorer.h"
+#include "mining/category_function.h"
+#include "rulegraph/rule_graph.h"
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief Counters describing what one Ingest call changed (diagnostics).
+struct UpdateEffects {
+  bool added_fact = false;
+  uint32_t new_entity_categories = 0;
+  uint32_t new_rule_nodes = 0;
+  uint32_t new_rule_edges = 0;
+  uint32_t timespans_recorded = 0;
+};
+
+/// \brief Online rule-graph maintenance (§4.4, Algorithm 3).
+///
+/// For each new *valid* knowledge the updater:
+///  1. appends the fact to the TKG (graph structure changes);
+///  2. extends the category function when an entity meets a relation it
+///     never interacted with (entity semantic changes / new entities);
+///  3. admits new atomic rules once an unseen pattern recurs enough to
+///     pass the marginal MDL test, then wires chain edges to temporally
+///     close facts of the same pair (graph pattern changes);
+///  4. appends observed timespans to every in-edge the new knowledge
+///     instantiates (timespan distribution changes).
+class Updater {
+ public:
+  Updater(TemporalKnowledgeGraph* graph, CategoryFunction* categories,
+          RuleGraph* rules, const DetectorOptions* detector_options,
+          const UpdaterOptions& options);
+
+  /// Algorithm 3 for one piece of new valid knowledge.
+  UpdateEffects Ingest(const Fact& fact);
+
+ private:
+  /// Marginal MDL admission test for a recurring unseen pattern.
+  bool ShouldAdmitRule(const AtomicRule& rule, uint32_t online_support) const;
+
+  TemporalKnowledgeGraph* graph_;
+  CategoryFunction* categories_;
+  RuleGraph* rules_;
+  const DetectorOptions* detector_options_;
+  UpdaterOptions options_;
+  Scorer scorer_;
+  /// Online support counts of patterns not (yet) in the rule graph.
+  std::unordered_map<AtomicRule, uint32_t, AtomicRuleHash> pending_rules_;
+};
+
+}  // namespace anot

@@ -1,0 +1,383 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace anot {
+
+namespace {
+
+const char* const kCategoryPool[] = {
+    "PERSON",     "COUNTRY",  "ORGANIZATION", "CITY",     "COMPANY",
+    "PRIZE",      "PRODUCT",  "GROUP",        "UNIVERSITY", "BOOK",
+    "MOVIE",      "PARTY",    "AGENCY",       "LEADER",   "REBEL_GROUP",
+    "BANK",       "MINISTRY", "ATHLETE",      "ARTIST",   "JOURNALIST",
+    "COURT",      "UNION",    "REGION",       "MILITARY",
+};
+constexpr size_t kCategoryPoolSize =
+    sizeof(kCategoryPool) / sizeof(kCategoryPool[0]);
+
+const char* const kVerbPool[] = {
+    "make_statement",     "host_visit",        "consult",
+    "express_intent_to_cooperate", "appeal_for_aid", "accuse",
+    "praise_or_endorse",  "sign_agreement",    "provide_military_aid",
+    "engage_in_negotiation", "threaten",       "demand",
+    "reduce_relations",   "impose_sanctions",  "investigate",
+    "arrest_or_detain",   "release_persons",   "win_election",
+    "president_of",       "outgoing_president", "born_in",
+    "died_in",            "created",           "owns",
+    "plays_for",          "transfer_to",       "nominated_for",
+    "win_prize",          "write_book",        "direct_movie",
+    "graduated_from",     "married_to",        "works_at",
+    "chairman_of",        "criticize",         "halt_negotiations",
+    "express_intent_to_meet", "provide_economic_aid", "mobilize_forces",
+    "return_persons",     "grant_asylum",      "impose_embargo",
+    "ratify_treaty",      "veto_resolution",   "deploy_peacekeepers",
+    "recall_ambassador",  "open_embassy",      "close_border",
+    "extend_invitation",  "reject_proposal",
+};
+constexpr size_t kVerbPoolSize = sizeof(kVerbPool) / sizeof(kVerbPool[0]);
+
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(const GeneratorConfig& config)
+    : config_(config), rng_(config.seed) {
+  ANOT_CHECK(config_.num_entities >= 4);
+  ANOT_CHECK(config_.num_relations >= 2);
+  ANOT_CHECK(config_.num_timestamps >= 2);
+  ANOT_CHECK(config_.num_categories >= 2);
+  BuildWorld();
+}
+
+std::string SyntheticGenerator::EntityNameFor(EntityId e) const {
+  const CategoryId c = world_.entity_primary_category[e];
+  return world_.category_names[c] + "_" + std::to_string(e);
+}
+
+void SyntheticGenerator::BuildWorld() {
+  const size_t num_cats =
+      std::min(config_.num_categories, config_.num_entities / 2);
+
+  world_.category_names.reserve(num_cats);
+  for (size_t c = 0; c < num_cats; ++c) {
+    if (c < kCategoryPoolSize) {
+      world_.category_names.emplace_back(kCategoryPool[c]);
+    } else {
+      world_.category_names.emplace_back("CAT_" + std::to_string(c));
+    }
+  }
+
+  // Entities: primary category round-robin weighted towards low category
+  // ids (mild Zipf over categories keeps some categories large, mirroring
+  // the PERSON/COUNTRY dominance of real event KGs).
+  world_.entity_primary_category.resize(config_.num_entities);
+  world_.entity_secondary_category.assign(config_.num_entities, kInvalidId);
+  world_.category_members.assign(num_cats, {});
+  ZipfSampler cat_sampler(num_cats, 0.6);
+  for (EntityId e = 0; e < config_.num_entities; ++e) {
+    CategoryId c = static_cast<CategoryId>(cat_sampler.Sample(&rng_));
+    world_.entity_primary_category[e] = c;
+    world_.category_members[c].push_back(e);
+    if (rng_.Bernoulli(config_.secondary_category_prob)) {
+      CategoryId c2 = static_cast<CategoryId>(cat_sampler.Sample(&rng_));
+      if (c2 != c) {
+        world_.entity_secondary_category[e] = c2;
+        world_.category_members[c2].push_back(e);
+      }
+    }
+  }
+  // Guarantee every category is inhabited so relation schemas are valid.
+  for (CategoryId c = 0; c < num_cats; ++c) {
+    if (world_.category_members[c].empty()) {
+      EntityId e = static_cast<EntityId>(rng_.Uniform(config_.num_entities));
+      world_.category_members[c].push_back(e);
+      if (world_.entity_secondary_category[e] == kInvalidId &&
+          world_.entity_primary_category[e] != c) {
+        world_.entity_secondary_category[e] = c;
+      }
+    }
+  }
+
+  // Relations: names from the verb pool, schema over categories.
+  relation_names_.reserve(config_.num_relations);
+  for (RelationId r = 0; r < config_.num_relations; ++r) {
+    std::string base = kVerbPool[r % kVerbPoolSize];
+    if (r >= kVerbPoolSize) {
+      base += "_" + std::to_string(r / kVerbPoolSize);
+    }
+    relation_names_.push_back(base);
+  }
+  world_.relation_schema.resize(config_.num_relations);
+  world_.relation_recurrence_gap.resize(config_.num_relations);
+  for (RelationId r = 0; r < config_.num_relations; ++r) {
+    CategoryId cs = static_cast<CategoryId>(cat_sampler.Sample(&rng_));
+    CategoryId co = static_cast<CategoryId>(cat_sampler.Sample(&rng_));
+    world_.relation_schema[r] = {cs, co};
+    world_.relation_recurrence_gap[r] =
+        2.0 + static_cast<double>(rng_.Uniform(std::max<uint64_t>(
+                  2, config_.num_timestamps / 10)));
+  }
+
+  // Plant chain and triadic rules on disjoint relation sets so the ground
+  // truth stays unambiguous for white-box tests.
+  std::vector<RelationId> pool(config_.num_relations);
+  for (RelationId r = 0; r < config_.num_relations; ++r) pool[r] = r;
+  rng_.Shuffle(&pool);
+
+  size_t chain_count = std::min(config_.num_chain_rules, pool.size() / 2);
+  size_t cursor = 0;
+  const Timestamp span = static_cast<Timestamp>(config_.num_timestamps);
+  for (size_t i = 0; i < chain_count; ++i) {
+    // Length-3 extensions below consume extra pool slots.
+    if (cursor + 1 >= pool.size()) break;
+    RelationId head = pool[cursor++];
+    RelationId tail = pool[cursor++];
+    // Tail inherits the head's schema so chains are type-consistent.
+    world_.relation_schema[tail] = world_.relation_schema[head];
+    double gap = 3.0 + static_cast<double>(rng_.Uniform(
+                           std::max<uint64_t>(2, span / 8)));
+    ChainRuleTemplate rule{head, tail, gap, std::max(1.0, gap / 6.0)};
+    world_.chain_rules.push_back(rule);
+    // ~40% of chains extend to length 3 (election -> president ->
+    // outgoing); length-3 chains are what make the paper's recursive
+    // evidence strategy matter when middles go missing.
+    if (cursor + 1 < pool.size() && rng_.Bernoulli(0.4)) {
+      RelationId ext = pool[cursor++];
+      world_.relation_schema[ext] = world_.relation_schema[head];
+      double gap2 = 3.0 + static_cast<double>(rng_.Uniform(
+                              std::max<uint64_t>(2, span / 8)));
+      world_.chain_rules.push_back(
+          ChainRuleTemplate{tail, ext, gap2, std::max(1.0, gap2 / 6.0)});
+    }
+  }
+
+  size_t triadic_count = std::min(config_.num_triadic_rules,
+                                  (pool.size() - cursor) / 3);
+  for (size_t i = 0; i < triadic_count; ++i) {
+    RelationId head = pool[cursor++];
+    RelationId mid = pool[cursor++];
+    RelationId close = pool[cursor++];
+    // mid shares the head's object category; close connects the two
+    // subject categories.
+    world_.relation_schema[mid].second = world_.relation_schema[head].second;
+    world_.relation_schema[close] = {world_.relation_schema[head].first,
+                                     world_.relation_schema[mid].first};
+    double gap = 1.0 + static_cast<double>(rng_.Uniform(
+                           std::max<uint64_t>(2, span / 40)));
+    world_.triadic_rules.push_back(TriadicRuleTemplate{head, mid, close, gap});
+  }
+}
+
+std::unique_ptr<TemporalKnowledgeGraph> SyntheticGenerator::Generate() {
+  auto graph = std::make_unique<TemporalKnowledgeGraph>();
+
+  // Pre-intern every symbol so entity/relation ids match WorldModel indexes.
+  for (EntityId e = 0; e < config_.num_entities; ++e) {
+    EntityId got = graph->entity_dict().GetOrAdd(EntityNameFor(e));
+    ANOT_CHECK(got == e);
+  }
+  for (RelationId r = 0; r < config_.num_relations; ++r) {
+    RelationId got = graph->relation_dict().GetOrAdd(relation_names_[r]);
+    ANOT_CHECK(got == r);
+  }
+
+  // Per-category Zipf samplers for entity popularity.
+  std::vector<ZipfSampler> member_samplers;
+  member_samplers.reserve(world_.category_members.size());
+  for (const auto& members : world_.category_members) {
+    member_samplers.emplace_back(std::max<uint64_t>(1, members.size()),
+                                 config_.entity_zipf);
+  }
+  auto sample_member = [&](CategoryId c) -> EntityId {
+    const auto& members = world_.category_members[c];
+    return members[member_samplers[c].Sample(&rng_)];
+  };
+
+  // Index rules by their trigger relation.
+  std::unordered_map<RelationId, std::vector<const ChainRuleTemplate*>>
+      chain_by_head;
+  for (const auto& rule : world_.chain_rules) {
+    chain_by_head[rule.head].push_back(&rule);
+  }
+  // Chain relations are one-shot per entity pair (election -> president ->
+  // outgoing happens once between a person and a country); this is what
+  // makes occurrence-order conflicts detectable, mirroring real TKGs.
+  std::unordered_set<RelationId> oneshot_relations;
+  // Chain tails only ever occur as consequences of their head (one does
+  // not become president_of without win_election), so they are excluded
+  // from spontaneous base-event sampling.
+  std::unordered_set<RelationId> consequence_relations;
+  for (const auto& rule : world_.chain_rules) {
+    oneshot_relations.insert(rule.head);
+    oneshot_relations.insert(rule.tail);
+    consequence_relations.insert(rule.tail);
+  }
+  std::unordered_map<RelationId, std::unordered_set<uint64_t>> used_pairs;
+  std::unordered_map<RelationId, std::vector<const TriadicRuleTemplate*>>
+      triadic_by_head;
+  for (const auto& rule : world_.triadic_rules) {
+    triadic_by_head[rule.head].push_back(&rule);
+  }
+
+  // Base events sample only relations that can occur spontaneously
+  // (consequence relations appear exclusively as chain follow-ups), so
+  // the fact budget is not silently eroded by skipped draws.
+  std::vector<RelationId> spontaneous;
+  spontaneous.reserve(config_.num_relations);
+  for (RelationId r = 0; r < config_.num_relations; ++r) {
+    if (consequence_relations.count(r) == 0) spontaneous.push_back(r);
+  }
+  ANOT_CHECK(!spontaneous.empty());
+  ZipfSampler spontaneous_sampler(spontaneous.size(), config_.relation_zipf);
+
+  const Timestamp horizon =
+      static_cast<Timestamp>(config_.num_timestamps) - 1;
+
+  // Estimate the base-event rate so that base + follow-up facts land near
+  // the requested |F|.
+  double chain_head_mass = 0.0;
+  for (const auto& rule : world_.chain_rules) {
+    (void)rule;
+  }
+  chain_head_mass = world_.chain_rules.empty()
+                        ? 0.0
+                        : static_cast<double>(world_.chain_rules.size()) /
+                              static_cast<double>(config_.num_relations);
+  const double overhead = chain_head_mass * config_.chain_follow_prob * 2.5 +
+                          config_.recurrence_prob + 0.05;
+  const double base_per_tick =
+      static_cast<double>(config_.num_facts) /
+      (static_cast<double>(config_.num_timestamps) * (1.0 + overhead));
+
+  std::map<Timestamp, std::vector<Fact>> scheduled;
+  // Recent facts per object entity for triadic closure search.
+  std::unordered_map<EntityId, std::deque<Fact>> recent_by_object;
+
+  auto duration_end = [&](Timestamp start) -> Timestamp {
+    if (!config_.durations) return start;
+    Timestamp end =
+        start +
+        static_cast<Timestamp>(rng_.Exponential(config_.mean_duration));
+    return std::min(end, horizon);
+  };
+
+  auto emit = [&](const Fact& f, bool allow_chain, bool allow_recurrence) {
+    graph->AddFact(f);
+    // Recurrence: the same interaction repeats after its characteristic
+    // gap (single recurrence per base fact keeps the budget predictable).
+    // One-shot chain relations never recur.
+    if (allow_recurrence && oneshot_relations.count(f.relation) == 0 &&
+        rng_.Bernoulli(config_.recurrence_prob)) {
+      const double gap = world_.relation_recurrence_gap[f.relation];
+      Timestamp t2 = f.time + static_cast<Timestamp>(std::llround(
+                                  std::max(1.0, rng_.Normal(gap, gap / 6.0))));
+      if (t2 <= horizon) {
+        Fact repeat(f.subject, f.relation, f.object, t2);
+        repeat.end = duration_end(t2);
+        scheduled[t2].push_back(repeat);
+      }
+    }
+    if (!allow_chain) return;
+    // Chain rule follow-up on the same pair.
+    auto cit = chain_by_head.find(f.relation);
+    if (cit != chain_by_head.end()) {
+      for (const ChainRuleTemplate* rule : cit->second) {
+        if (!rng_.Bernoulli(config_.chain_follow_prob)) continue;
+        Timestamp t2 = f.time + static_cast<Timestamp>(std::llround(
+                                    std::max(1.0, rng_.Normal(rule->mean_gap,
+                                                              rule->jitter))));
+        if (t2 > horizon) continue;
+        Fact follow(f.subject, rule->tail, f.object, t2);
+        follow.end = duration_end(t2);
+        scheduled[t2].push_back(follow);
+      }
+    }
+    // Triadic closure: look for a recent (h, mid, o) to close with.
+    auto tit = triadic_by_head.find(f.relation);
+    if (tit != triadic_by_head.end()) {
+      auto rit = recent_by_object.find(f.object);
+      if (rit != recent_by_object.end()) {
+        for (const TriadicRuleTemplate* rule : tit->second) {
+          for (const Fact& g : rit->second) {
+            if (g.relation != rule->mid || g.subject == f.subject) continue;
+            if (!rng_.Bernoulli(config_.triadic_follow_prob)) continue;
+            Timestamp t2 = f.time + static_cast<Timestamp>(std::llround(
+                                        std::max(1.0, rule->mean_gap)));
+            if (t2 > horizon) break;
+            Fact close(f.subject, rule->close, g.subject, t2);
+            close.end = duration_end(t2);
+            scheduled[t2].push_back(close);
+            break;
+          }
+        }
+      }
+    }
+    auto& recents = recent_by_object[f.object];
+    recents.push_back(f);
+    while (!recents.empty() &&
+           f.time - recents.front().time >
+               static_cast<Timestamp>(config_.triadic_window)) {
+      recents.pop_front();
+    }
+  };
+
+  double carry = 0.0;
+  for (Timestamp t = 0; t <= horizon; ++t) {
+    // Scheduled follow-ups first (they do not re-trigger rules, which keeps
+    // cascade depth bounded at 1 and the fact budget predictable).
+    auto sit = scheduled.find(t);
+    if (sit != scheduled.end()) {
+      for (const Fact& f : sit->second) {
+        emit(f, /*allow_chain=*/true, /*allow_recurrence=*/false);
+      }
+      scheduled.erase(sit);
+    }
+
+    carry += base_per_tick;
+    size_t events = static_cast<size_t>(carry);
+    carry -= static_cast<double>(events);
+
+    for (size_t i = 0; i < events; ++i) {
+      if (rng_.Bernoulli(config_.noise_fraction)) {
+        EntityId s = static_cast<EntityId>(rng_.Uniform(config_.num_entities));
+        EntityId o = static_cast<EntityId>(rng_.Uniform(config_.num_entities));
+        if (o == s) o = (o + 1) % config_.num_entities;
+        RelationId r =
+            static_cast<RelationId>(rng_.Uniform(config_.num_relations));
+        Fact f(s, r, o, t);
+        f.end = duration_end(t);
+        emit(f, /*allow_chain=*/false, /*allow_recurrence=*/false);
+        continue;
+      }
+      RelationId r = spontaneous[spontaneous_sampler.Sample(&rng_)];
+      const auto [cs, co] = world_.relation_schema[r];
+      EntityId s = sample_member(cs);
+      EntityId o = sample_member(co);
+      for (int retry = 0; retry < 4 && o == s; ++retry) o = sample_member(co);
+      if (o == s) continue;
+      if (oneshot_relations.count(r) > 0) {
+        // Find a fresh pair for one-shot relations.
+        auto& used = used_pairs[r];
+        int retry = 0;
+        while (used.count(PairKey(s, o)) > 0 && retry < 6) {
+          s = sample_member(cs);
+          o = sample_member(co);
+          ++retry;
+        }
+        if (used.count(PairKey(s, o)) > 0 || o == s) continue;
+        used.insert(PairKey(s, o));
+      }
+      Fact f(s, r, o, t);
+      f.end = duration_end(t);
+      emit(f, /*allow_chain=*/true, /*allow_recurrence=*/true);
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace anot

@@ -1,0 +1,139 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace anot {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+size_t Scaled(size_t full, double scale, size_t min_value) {
+  return std::max(min_value,
+                  static_cast<size_t>(static_cast<double>(full) * scale));
+}
+
+}  // namespace
+
+GeneratorConfig DatasetPresets::Icews14(double scale) {
+  GeneratorConfig cfg;
+  cfg.name = "ICEWS14";
+  cfg.seed = 1401;
+  cfg.num_entities = Scaled(7128, scale, 60);
+  cfg.num_relations = 230;
+  cfg.num_timestamps = 365;  // daily granularity, one year
+  cfg.num_facts = Scaled(90730, scale, 2000);
+  cfg.num_categories = 14;
+  cfg.num_chain_rules = 20;
+  cfg.num_triadic_rules = 10;
+  return cfg;
+}
+
+GeneratorConfig DatasetPresets::Icews0515(double scale) {
+  GeneratorConfig cfg;
+  cfg.name = "ICEWS05-15";
+  cfg.seed = 515;
+  cfg.num_entities = Scaled(10488, scale, 60);
+  cfg.num_relations = 251;
+  cfg.num_timestamps = 4017;  // daily granularity, eleven years
+  cfg.num_facts = Scaled(461329, scale, 3000);
+  cfg.num_categories = 14;
+  cfg.num_chain_rules = 22;
+  cfg.num_triadic_rules = 10;
+  return cfg;
+}
+
+GeneratorConfig DatasetPresets::Yago11k(double scale) {
+  GeneratorConfig cfg;
+  cfg.name = "YAGO11k";
+  cfg.seed = 11000;
+  cfg.num_entities = Scaled(9736, scale, 60);
+  cfg.num_relations = 10;  // few relations, like the real YAGO11k
+  cfg.num_timestamps = 2801;  // monthly granularity
+  cfg.num_facts = Scaled(161540, scale, 2500);
+  cfg.num_categories = 8;
+  cfg.num_chain_rules = 3;
+  cfg.num_triadic_rules = 1;
+  cfg.noise_fraction = 0.03;
+  return cfg;
+}
+
+GeneratorConfig DatasetPresets::Gdelt(double scale) {
+  GeneratorConfig cfg;
+  cfg.name = "GDELT";
+  cfg.seed = 20150219;
+  cfg.num_entities = Scaled(7691, scale, 60);
+  cfg.num_relations = 240;
+  cfg.num_timestamps = 2975;  // 15-minute granularity
+  cfg.num_facts = Scaled(3419607, scale, 4000);
+  cfg.num_categories = 14;
+  cfg.num_chain_rules = 20;
+  cfg.num_triadic_rules = 10;
+  cfg.noise_fraction = 0.08;  // GDELT is the noisiest source
+  return cfg;
+}
+
+GeneratorConfig DatasetPresets::Wikidata(double scale) {
+  GeneratorConfig cfg;
+  cfg.name = "Wikidata";
+  cfg.seed = 12554;
+  cfg.num_entities = Scaled(12554, scale, 60);
+  cfg.num_relations = 24;
+  cfg.num_timestamps = 2270;  // yearly-ish granularity in the benchmark
+  cfg.num_facts = Scaled(669934, scale, 3000);
+  cfg.num_categories = 10;
+  cfg.num_chain_rules = 6;
+  cfg.num_triadic_rules = 3;
+  cfg.durations = true;
+  cfg.mean_duration = 80.0;
+  return cfg;
+}
+
+Result<GeneratorConfig> DatasetPresets::ByName(const std::string& name,
+                                               double scale) {
+  const std::string key = Lower(name);
+  if (key == "icews14") return Icews14(scale);
+  if (key == "icews05-15" || key == "icews0515") return Icews0515(scale);
+  if (key == "yago11k" || key == "yago") return Yago11k(scale);
+  if (key == "gdelt") return Gdelt(scale);
+  if (key == "wikidata") return Wikidata(scale);
+  return Status::NotFound("unknown dataset preset: " + name);
+}
+
+double DatasetPresets::DefaultBenchScale(const std::string& name) {
+  const std::string key = Lower(name);
+  // Chosen so each dataset lands at roughly 20-30k facts by default.
+  if (key == "icews14") return 0.25;
+  if (key == "icews05-15" || key == "icews0515") return 0.06;
+  if (key == "yago11k" || key == "yago") return 0.15;
+  if (key == "gdelt") return 0.008;
+  if (key == "wikidata") return 0.04;
+  return 1.0;
+}
+
+double DatasetPresets::EnvScale() {
+  const char* env = std::getenv("ANOT_SCALE");
+  if (env == nullptr) return 1.0;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || v <= 0.0) return 1.0;
+  return v;
+}
+
+std::vector<GeneratorConfig> DatasetPresets::MainBenchmarkSuite() {
+  const double env = EnvScale();
+  std::vector<GeneratorConfig> out;
+  for (const char* name : {"icews14", "icews05-15", "yago11k", "gdelt"}) {
+    out.push_back(
+        ByName(name, DefaultBenchScale(name) * env).MoveValue());
+  }
+  return out;
+}
+
+}  // namespace anot

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "datagen/generator.h"
+#include "util/result.h"
+
+namespace anot {
+
+/// \brief Named dataset presets mirroring the statistics of the paper's
+/// Table 1 (ICEWS14, ICEWS05-15, YAGO11k, GDELT, Wikidata).
+///
+/// `scale` multiplies |E| and |F| (|R| and the timestamp granularity are
+/// kept intact); scale = 1.0 reproduces the paper-scale sizes. Each preset
+/// also has a *default bench scale* chosen so the full experiment suite
+/// runs in minutes on a laptop — harnesses report the scale they used.
+class DatasetPresets {
+ public:
+  static GeneratorConfig Icews14(double scale = 1.0);
+  static GeneratorConfig Icews0515(double scale = 1.0);
+  static GeneratorConfig Yago11k(double scale = 1.0);
+  static GeneratorConfig Gdelt(double scale = 1.0);
+  static GeneratorConfig Wikidata(double scale = 1.0);
+
+  /// Lookup by case-insensitive name ("icews14", "icews05-15", "yago11k",
+  /// "gdelt", "wikidata").
+  static Result<GeneratorConfig> ByName(const std::string& name,
+                                        double scale = 1.0);
+
+  /// The four point-timestamp datasets of Table 2, at bench scale
+  /// multiplied by the ANOT_SCALE environment variable (default 1.0).
+  static std::vector<GeneratorConfig> MainBenchmarkSuite();
+
+  /// Default bench scale for a preset (applied by MainBenchmarkSuite).
+  static double DefaultBenchScale(const std::string& name);
+
+  /// Reads the ANOT_SCALE environment override (default 1.0).
+  static double EnvScale();
+};
+
+}  // namespace anot

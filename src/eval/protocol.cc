@@ -1,0 +1,94 @@
+#include "eval/protocol.h"
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace anot {
+
+namespace {
+
+/// Scores a labeled stream and splits it into the three task rankings.
+struct TaskExamples {
+  std::vector<ScoredExample> conceptual;
+  std::vector<ScoredExample> time;
+  std::vector<ScoredExample> missing;
+};
+
+TaskExamples ScoreStream(const EvalStream& stream, AnomalyModel* model,
+                         bool observe_valid, double* seconds) {
+  TaskExamples out;
+  WallTimer timer;
+  for (const LabeledFact& lf : stream.arrivals) {
+    const AnomalyModel::TaskScores s = model->Score(lf.fact);
+    // Conceptual task: conceptual anomalies vs everything else arriving.
+    out.conceptual.push_back(
+        {s.conceptual, lf.label == AnomalyType::kConceptual});
+    // Time task: time anomalies vs everything else arriving.
+    out.time.push_back({s.time, lf.label == AnomalyType::kTime});
+    if (observe_valid && lf.label == AnomalyType::kValid) {
+      model->ObserveValid(lf.fact);
+    }
+  }
+  for (const LabeledFact& lf : stream.missing_candidates) {
+    const AnomalyModel::TaskScores s = model->Score(lf.fact);
+    out.missing.push_back({s.missing, lf.label == AnomalyType::kMissing});
+  }
+  if (seconds != nullptr) *seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+TaskResult Evaluate(const std::vector<ScoredExample>& val,
+                    const std::vector<ScoredExample>& test, double beta) {
+  TaskResult out;
+  const ThresholdMetrics tuned = TuneThreshold(val, beta);
+  const ThresholdMetrics at =
+      MetricsAtThreshold(test, tuned.threshold, beta);
+  out.precision = at.precision;
+  out.f_beta = at.f_beta;
+  out.pr_auc = PrAuc(test);
+  return out;
+}
+
+}  // namespace
+
+EvalResult RunProtocol(const TemporalKnowledgeGraph& full,
+                       const TimeSplit& split, AnomalyModel* model,
+                       const ProtocolOptions& options) {
+  EvalResult result;
+  result.model = model->name();
+
+  // Offline phase.
+  auto train = Subgraph(full, split.train);
+  WallTimer fit_timer;
+  model->Fit(*train);
+  result.fit_seconds = fit_timer.ElapsedSeconds();
+
+  // Validation window: tune thresholds, then let the model absorb it.
+  InjectorConfig val_injector = options.injector;
+  val_injector.seed = options.injector.seed * 2654435761u + 1;
+  AnomalyInjector val_inj(val_injector);
+  EvalStream val_stream = val_inj.Inject(full, split.val);
+  TaskExamples val_examples =
+      ScoreStream(val_stream, model, options.observe_valid, nullptr);
+
+  // Test window.
+  AnomalyInjector test_inj(options.injector);
+  EvalStream test_stream = test_inj.Inject(full, split.test);
+  double seconds = 0.0;
+  TaskExamples test_examples =
+      ScoreStream(test_stream, model, options.observe_valid, &seconds);
+  const size_t scored =
+      test_stream.arrivals.size() + test_stream.missing_candidates.size();
+  result.throughput =
+      seconds > 0 ? static_cast<double>(scored) / seconds : 0.0;
+
+  result.conceptual = Evaluate(val_examples.conceptual,
+                               test_examples.conceptual, options.beta);
+  result.time =
+      Evaluate(val_examples.time, test_examples.time, options.beta);
+  result.missing = Evaluate(val_examples.missing, test_examples.missing,
+                            options.beta);
+  return result;
+}
+
+}  // namespace anot

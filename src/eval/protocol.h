@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anomaly/injector.h"
+#include "eval/metrics.h"
+#include "eval/model.h"
+#include "tkg/graph.h"
+#include "tkg/split.h"
+
+namespace anot {
+
+/// \brief Per-anomaly-type results: the columns of Table 2.
+struct TaskResult {
+  double precision = 0.0;
+  double f_beta = 0.0;
+  double pr_auc = 0.0;
+};
+
+/// \brief Full outcome of one (dataset, model) evaluation.
+struct EvalResult {
+  std::string model;
+  std::string dataset;
+  TaskResult conceptual;
+  TaskResult time;
+  TaskResult missing;
+  double fit_seconds = 0.0;
+  /// Test-stream scoring throughput, samples/second (Figures 7-8).
+  double throughput = 0.0;
+};
+
+/// \brief The paper's evaluation protocol (§5.1-5.2): 60/10/30 timestamp
+/// split, 15% disjoint injection per anomaly type, thresholds tuned by
+/// F_0.5 on validation, metrics reported on test.
+struct ProtocolOptions {
+  double train_fraction = 0.6;
+  double val_fraction = 0.1;
+  double beta = 0.5;
+  InjectorConfig injector;
+  /// Feed knowledge scored as valid back to the model between windows
+  /// (AnoT's updater; frequency/recency baselines). The paper's rule-graph
+  /// refresh stays disabled during evaluation for fairness.
+  bool observe_valid = true;
+};
+
+/// Runs the protocol for one model over an already generated full TKG.
+EvalResult RunProtocol(const TemporalKnowledgeGraph& full,
+                       const TimeSplit& split, AnomalyModel* model,
+                       const ProtocolOptions& options);
+
+}  // namespace anot

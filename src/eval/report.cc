@@ -1,0 +1,71 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace anot {
+
+std::string Reporter::RenderTable(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      cell.resize(widths[c], ' ');
+      out += " " + cell + " |";
+    }
+    return out + "\n";
+  };
+  std::string out = render_row(header);
+  std::string sep = "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+std::string Reporter::RenderComparison(
+    const std::vector<EvalResult>& results) {
+  // Group by dataset, preserving first-seen order.
+  std::vector<std::string> datasets;
+  for (const auto& r : results) {
+    if (std::find(datasets.begin(), datasets.end(), r.dataset) ==
+        datasets.end()) {
+      datasets.push_back(r.dataset);
+    }
+  }
+  std::string out;
+  for (const auto& dataset : datasets) {
+    out += "== " + dataset + " ==\n";
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& r : results) {
+      if (r.dataset != dataset) continue;
+      auto add = [&](const char* task, const TaskResult& t) {
+        rows.push_back({r.model, task, FormatDouble(t.precision, 3),
+                        FormatDouble(t.f_beta, 3),
+                        FormatDouble(t.pr_auc, 3)});
+      };
+      add("conceptual", r.conceptual);
+      add("time", r.time);
+      add("missing", r.missing);
+    }
+    out += RenderTable({"model", "anomaly", "precision", "F0.5", "AUC"},
+                       rows);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace anot

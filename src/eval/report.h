@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/protocol.h"
+
+namespace anot {
+
+/// \brief Plain-text table rendering for the experiment harnesses.
+class Reporter {
+ public:
+  /// One Table-2-style block: rows = model x anomaly type, columns =
+  /// Precision / F_beta / AUC per dataset.
+  static std::string RenderComparison(
+      const std::vector<EvalResult>& results);
+
+  /// Simple aligned table given header + rows.
+  static std::string RenderTable(
+      const std::vector<std::string>& header,
+      const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace anot

@@ -1,0 +1,85 @@
+#include "mdl/ledger.h"
+
+#include <cmath>
+
+#include "mdl/encoding.h"
+#include "util/logging.h"
+
+namespace anot {
+
+NegativeErrorLedger::NegativeErrorLedger(double tier1_universe,
+                                         double tier2_universe)
+    : tier1_universe_(tier1_universe),
+      tier2_universe_(tier2_universe > 0.0
+                          ? tier2_universe
+                          : std::max(2.0, std::cbrt(tier1_universe))) {
+  ANOT_CHECK(tier1_universe_ >= 1.0);
+}
+
+double NegativeErrorLedger::CostAt(uint32_t total, uint32_t mapped,
+                                   uint32_t associated) const {
+  return NegativeErrorBitsAt(tier1_universe_, tier2_universe_, total, mapped,
+                             associated);
+}
+
+void NegativeErrorLedger::SetTimestampTotal(Timestamp t, uint32_t total) {
+  Counters& c = per_timestamp_[t];
+  total_cost_ -= c.cost;
+  c.total = total;
+  c.mapped = std::min(c.mapped, total);
+  c.associated = std::min(c.associated, c.mapped);
+  c.cost = CostAt(c.total, c.mapped, c.associated);
+  total_cost_ += c.cost;
+}
+
+void NegativeErrorLedger::Apply(Timestamp t, int32_t delta_mapped,
+                                int32_t delta_associated) {
+  auto it = per_timestamp_.find(t);
+  ANOT_CHECK(it != per_timestamp_.end())
+      << "Apply on unregistered timestamp " << t;
+  Counters& c = it->second;
+  total_cost_ -= c.cost;
+  const int64_t mapped = static_cast<int64_t>(c.mapped) + delta_mapped;
+  const int64_t assoc = static_cast<int64_t>(c.associated) + delta_associated;
+  ANOT_CHECK(mapped >= 0 && mapped <= c.total) << "mapped out of range";
+  ANOT_CHECK(assoc >= 0 && assoc <= mapped) << "associated out of range";
+  c.mapped = static_cast<uint32_t>(mapped);
+  c.associated = static_cast<uint32_t>(assoc);
+  c.cost = CostAt(c.total, c.mapped, c.associated);
+  total_cost_ += c.cost;
+}
+
+double NegativeErrorLedger::CostDelta(
+    const std::unordered_map<Timestamp, Delta>& deltas) const {
+  double delta_cost = 0.0;
+  for (const auto& [t, d] : deltas) {
+    auto it = per_timestamp_.find(t);
+    if (it == per_timestamp_.end()) continue;
+    const Counters& c = it->second;
+    int64_t mapped = static_cast<int64_t>(c.mapped) + d.mapped;
+    int64_t assoc = static_cast<int64_t>(c.associated) + d.associated;
+    mapped = std::min<int64_t>(std::max<int64_t>(mapped, 0), c.total);
+    assoc = std::min<int64_t>(std::max<int64_t>(assoc, 0), mapped);
+    delta_cost += CostAt(c.total, static_cast<uint32_t>(mapped),
+                         static_cast<uint32_t>(assoc)) -
+                  c.cost;
+  }
+  return delta_cost;
+}
+
+uint32_t NegativeErrorLedger::mapped_at(Timestamp t) const {
+  auto it = per_timestamp_.find(t);
+  return it == per_timestamp_.end() ? 0 : it->second.mapped;
+}
+
+uint32_t NegativeErrorLedger::associated_at(Timestamp t) const {
+  auto it = per_timestamp_.find(t);
+  return it == per_timestamp_.end() ? 0 : it->second.associated;
+}
+
+uint32_t NegativeErrorLedger::total_at(Timestamp t) const {
+  auto it = per_timestamp_.find(t);
+  return it == per_timestamp_.end() ? 0 : it->second.total;
+}
+
+}  // namespace anot

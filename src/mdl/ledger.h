@@ -1,0 +1,66 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "tkg/types.h"
+
+namespace anot {
+
+/// \brief Incremental bookkeeping of the negative-error cost L(N_G)
+/// (Eq. 8, two-tier realization — see mdl/encoding.h).
+///
+/// The greedy builder asks two questions per candidate: "what is the total
+/// cost now?" and "what would it be if these timestamps gained x mapped /
+/// y associated facts?". The ledger answers both in O(affected timestamps)
+/// by caching each timestamp's cost term.
+class NegativeErrorLedger {
+ public:
+  /// `tier1_universe` is U1 = |E|^2 * |R|, the per-timestamp position
+  /// universe of Eq. 8; `tier2_universe` (default U1^(1/3), roughly |E|)
+  /// prices an unassociated-but-mapped fact.
+  explicit NegativeErrorLedger(double tier1_universe,
+                               double tier2_universe = 0.0);
+
+  /// Registers the number of facts observed at `t`. Must be called before
+  /// mutating that timestamp.
+  void SetTimestampTotal(Timestamp t, uint32_t total);
+
+  /// Applies permanent deltas to the mapped/associated counters of `t`.
+  void Apply(Timestamp t, int32_t delta_mapped, int32_t delta_associated);
+
+  /// Cost change if `deltas` (t -> {delta_mapped, delta_associated}) were
+  /// applied, without mutating state. Negative = cost reduction.
+  struct Delta {
+    int32_t mapped = 0;
+    int32_t associated = 0;
+  };
+  double CostDelta(
+      const std::unordered_map<Timestamp, Delta>& deltas) const;
+
+  double total_cost() const { return total_cost_; }
+  uint32_t mapped_at(Timestamp t) const;
+  uint32_t associated_at(Timestamp t) const;
+  uint32_t total_at(Timestamp t) const;
+  double tier1_universe() const { return tier1_universe_; }
+  double tier2_universe() const { return tier2_universe_; }
+
+  /// Cost of a single timestamp given explicit counters (used by the
+  /// monitor on unseen timestamps).
+  double CostAt(uint32_t total, uint32_t mapped, uint32_t associated) const;
+
+ private:
+  struct Counters {
+    uint32_t total = 0;
+    uint32_t mapped = 0;
+    uint32_t associated = 0;
+    double cost = 0.0;
+  };
+
+  double tier1_universe_;
+  double tier2_universe_;
+  double total_cost_ = 0.0;
+  std::unordered_map<Timestamp, Counters> per_timestamp_;
+};
+
+}  // namespace anot

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief Options controlling category-function construction (§4.3.1).
+struct CategoryFunctionOptions {
+  /// Maximum categories assigned per entity (the paper's hyper-parameter k,
+  /// swept over {1, 3, 5, 10} in Figure 9).
+  size_t max_categories_per_entity = 3;
+  /// Minimum entities sharing a relation combination for it to count.
+  size_t min_support = 3;
+  /// Maximum relations per mined combination (paper: 3).
+  size_t max_combination_size = 3;
+  /// Overlap ratio triggering entity-/relation-based aggregation (paper: 0.9).
+  double aggregation_overlap = 0.9;
+  /// Fixpoint-loop cap for the aggregation passes.
+  size_t max_aggregation_rounds = 4;
+  /// Only the top combinations by coverage participate in aggregation
+  /// (pairwise comparison is quadratic).
+  size_t max_aggregation_candidates = 800;
+  /// Safety cap on the total number of categories kept.
+  size_t max_categories = 50000;
+};
+
+/// \brief The category function C(·): entity -> set of implicit categories.
+///
+/// Categories are frequent relation combinations (directed tokens) mined by
+/// PrefixSpan, refined by the paper's entity-based aggregation (combine
+/// combinations whose member sets overlap >90% into a finer category) and
+/// relation-based aggregation (combine combinations whose relation sets
+/// overlap >90% into a more general category), then selected by descending
+/// coverage until every entity holds up to k categories.
+///
+/// The function is *online-updatable*: when a new fact gives an entity a
+/// previously unseen relation token, UpdateEntity implements Algorithm 3
+/// lines 5-9 (choose the known combination containing the new token with
+/// maximal coverage; fall back to a fresh singleton category).
+class CategoryFunction {
+ public:
+  /// Builds C(·) from the offline-preserved part of the TKG.
+  static CategoryFunction Build(const TemporalKnowledgeGraph& graph,
+                                const CategoryFunctionOptions& options);
+
+  /// Categories of entity e (ascending ids; empty for unseen entities).
+  const std::vector<CategoryId>& Categories(EntityId e) const;
+
+  /// Total number of categories, |C_E|.
+  size_t num_categories() const { return categories_.size(); }
+
+  /// The relation-token combination defining category c.
+  const std::vector<uint32_t>& Combination(CategoryId c) const;
+
+  /// Entities currently assigned category c.
+  const std::vector<EntityId>& Members(CategoryId c) const;
+
+  /// Human-readable rendering, e.g. "host_visit | ~born_in" where "~"
+  /// marks the object side of a relation.
+  std::string Describe(CategoryId c,
+                       const TemporalKnowledgeGraph& graph) const;
+
+  /// Handles entity semantic changes (Algorithm 3): entity e has gained
+  /// `new_token`. Picks the known combination containing the token that
+  /// covers the most entities and intersects R(e); creates an anonymous
+  /// singleton category when none exists. Returns the category assigned,
+  /// or kInvalidId when e already carries it.
+  CategoryId UpdateEntity(EntityId e, uint32_t new_token,
+                          const TemporalKnowledgeGraph& graph);
+
+  const CategoryFunctionOptions& options() const { return options_; }
+
+ private:
+  struct CategoryInfo {
+    std::vector<uint32_t> tokens;   // ascending
+    std::vector<EntityId> members;  // ascending
+  };
+
+  CategoryId AddCategory(std::vector<uint32_t> tokens,
+                         std::vector<EntityId> members);
+  void AssignToEntity(EntityId e, CategoryId c);
+
+  CategoryFunctionOptions options_;
+  std::vector<CategoryInfo> categories_;
+  std::vector<std::vector<CategoryId>> entity_categories_;
+  /// token -> categories whose combination contains it (for UpdateEntity).
+  std::unordered_map<uint32_t, std::vector<CategoryId>> token_index_;
+  /// token -> singleton fallback category, if one was created.
+  std::unordered_map<uint32_t, CategoryId> singleton_categories_;
+};
+
+}  // namespace anot

@@ -1,0 +1,75 @@
+#include "mining/prefixspan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+
+/// A projected database entry: transaction id + offset of the suffix.
+struct Projection {
+  uint32_t transaction;
+  uint32_t offset;
+};
+
+struct MineContext {
+  const std::vector<std::vector<uint32_t>>* transactions;
+  const PrefixSpan::Options* options;
+  std::vector<FrequentItemset>* out;
+  std::vector<uint32_t> prefix;
+};
+
+void Grow(MineContext* ctx, const std::vector<Projection>& projections) {
+  if (ctx->out->size() >= ctx->options->max_patterns) return;
+  if (ctx->prefix.size() >= ctx->options->max_length) return;
+
+  // Count per-item support within the projected database. Each transaction
+  // contributes at most once per item because items are unique in a set.
+  std::map<uint32_t, std::vector<Projection>> extensions;
+  for (const Projection& p : projections) {
+    const auto& txn = (*ctx->transactions)[p.transaction];
+    for (uint32_t i = p.offset; i < txn.size(); ++i) {
+      extensions[txn[i]].push_back(Projection{p.transaction, i + 1});
+    }
+  }
+
+  for (const auto& [item, next] : extensions) {
+    if (next.size() < ctx->options->min_support) continue;
+    if (ctx->out->size() >= ctx->options->max_patterns) return;
+    ctx->prefix.push_back(item);
+    FrequentItemset pattern;
+    pattern.items = ctx->prefix;
+    pattern.owners.reserve(next.size());
+    for (const Projection& p : next) pattern.owners.push_back(p.transaction);
+    ctx->out->push_back(std::move(pattern));
+    Grow(ctx, next);
+    ctx->prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> PrefixSpan::Mine(
+    const std::vector<std::vector<uint32_t>>& transactions,
+    const Options& options) {
+#ifndef NDEBUG
+  for (const auto& txn : transactions) {
+    ANOT_DCHECK(std::is_sorted(txn.begin(), txn.end()));
+    ANOT_DCHECK(std::adjacent_find(txn.begin(), txn.end()) == txn.end());
+  }
+#endif
+  std::vector<FrequentItemset> out;
+  std::vector<Projection> root;
+  root.reserve(transactions.size());
+  for (uint32_t t = 0; t < transactions.size(); ++t) {
+    if (!transactions[t].empty()) root.push_back(Projection{t, 0});
+  }
+  MineContext ctx{&transactions, &options, &out, {}};
+  Grow(&ctx, root);
+  return out;
+}
+
+}  // namespace anot

@@ -1,0 +1,116 @@
+#include "nn/nn.h"
+
+#include "util/logging.h"
+
+namespace anot {
+
+EmbeddingTable::EmbeddingTable(size_t rows, size_t dim, double init_scale,
+                               Rng* rng)
+    : rows_(0), dim_(dim), init_scale_(init_scale), rng_(rng) {
+  ANOT_CHECK(dim_ > 0 && rng_ != nullptr);
+  Grow(rows);
+}
+
+void EmbeddingTable::Grow(size_t rows) {
+  if (rows <= rows_) return;
+  data_.resize(rows * dim_);
+  accum_.resize(rows * dim_, 0.0f);
+  for (size_t i = rows_ * dim_; i < rows * dim_; ++i) {
+    data_[i] = static_cast<float>((rng_->UniformDouble() * 2.0 - 1.0) *
+                                  init_scale_);
+  }
+  rows_ = rows;
+}
+
+float* EmbeddingTable::Row(size_t id) {
+  if (id >= rows_) Grow(id + 1);
+  return &data_[id * dim_];
+}
+
+const float* EmbeddingTable::Row(size_t id) const {
+  ANOT_CHECK(id < rows_);
+  return &data_[id * dim_];
+}
+
+void EmbeddingTable::Update(size_t id, const std::vector<float>& grad,
+                            float lr) {
+  ANOT_CHECK(grad.size() == dim_);
+  if (id >= rows_) Grow(id + 1);
+  float* w = &data_[id * dim_];
+  float* acc = &accum_[id * dim_];
+  for (size_t i = 0; i < dim_; ++i) {
+    acc[i] += grad[i] * grad[i];
+    w[i] -= lr * grad[i] / std::sqrt(acc[i] + 1e-8f);
+  }
+}
+
+Mlp::Mlp(size_t in_dim, size_t hidden_dim, uint64_t seed)
+    : in_dim_(in_dim), hidden_dim_(hidden_dim) {
+  Rng rng(seed);
+  auto init = [&](size_t n, double scale) {
+    std::vector<float> v(n);
+    for (auto& x : v) {
+      x = static_cast<float>((rng.UniformDouble() * 2.0 - 1.0) * scale);
+    }
+    return v;
+  };
+  const double scale = 1.0 / std::sqrt(static_cast<double>(in_dim));
+  w1_ = init(in_dim * hidden_dim, scale);
+  b1_.assign(hidden_dim, 0.0f);
+  w2_ = init(hidden_dim, 0.5);
+  acc_w1_.assign(w1_.size(), 0.0f);
+  acc_b1_.assign(b1_.size(), 0.0f);
+  acc_w2_.assign(w2_.size(), 0.0f);
+}
+
+float Mlp::Forward(const std::vector<float>& input) const {
+  ANOT_CHECK(input.size() == in_dim_);
+  float logit = b2_;
+  for (size_t h = 0; h < hidden_dim_; ++h) {
+    float z = b1_[h];
+    for (size_t i = 0; i < in_dim_; ++i) {
+      z += w1_[h * in_dim_ + i] * input[i];
+    }
+    logit += w2_[h] * std::tanh(z);
+  }
+  return logit;
+}
+
+float Mlp::TrainStep(const std::vector<float>& input, float label,
+                     float lr) {
+  ANOT_CHECK(input.size() == in_dim_);
+  // Forward with cached activations.
+  std::vector<float> hidden(hidden_dim_);
+  float logit = b2_;
+  for (size_t h = 0; h < hidden_dim_; ++h) {
+    float z = b1_[h];
+    for (size_t i = 0; i < in_dim_; ++i) {
+      z += w1_[h * in_dim_ + i] * input[i];
+    }
+    hidden[h] = std::tanh(z);
+    logit += w2_[h] * hidden[h];
+  }
+  const float p = Sigmoid(logit);
+  const float dlogit = p - label;  // d(BCE)/d(logit)
+
+  auto adagrad = [lr](float* w, float* acc, float g) {
+    *acc += g * g;
+    *w -= lr * g / std::sqrt(*acc + 1e-8f);
+  };
+  for (size_t h = 0; h < hidden_dim_; ++h) {
+    const float dh = dlogit * w2_[h] * (1.0f - hidden[h] * hidden[h]);
+    adagrad(&w2_[h], &acc_w2_[h], dlogit * hidden[h]);
+    adagrad(&b1_[h], &acc_b1_[h], dh);
+    for (size_t i = 0; i < in_dim_; ++i) {
+      adagrad(&w1_[h * in_dim_ + i], &acc_w1_[h * in_dim_ + i],
+              dh * input[i]);
+    }
+  }
+  acc_b2_ += dlogit * dlogit;
+  b2_ -= lr * dlogit / std::sqrt(acc_b2_ + 1e-8f);
+
+  const float eps = 1e-7f;
+  return label > 0.5f ? -std::log(p + eps) : -std::log(1.0f - p + eps);
+}
+
+}  // namespace anot

@@ -1,0 +1,120 @@
+#include "rulegraph/rule_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace anot {
+
+namespace {
+const std::vector<RuleEdgeId> kNoEdges;
+}
+
+RuleId RuleGraph::AddRule(const AtomicRule& rule, bool static_selected) {
+  auto it = rule_index_.find(rule);
+  if (it != rule_index_.end()) {
+    const RuleId id = it->second;
+    if (static_selected && !static_selected_[id]) {
+      static_selected_[id] = true;
+      ++num_static_;
+    }
+    return id;
+  }
+  const RuleId id = static_cast<RuleId>(rules_.size());
+  rules_.push_back(rule);
+  support_.push_back(0);
+  static_selected_.push_back(static_selected);
+  recurrent_.push_back(false);
+  num_static_ += static_selected ? 1 : 0;
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  rule_index_.emplace(rule, id);
+  return id;
+}
+
+std::optional<RuleId> RuleGraph::FindRule(const AtomicRule& rule) const {
+  auto it = rule_index_.find(rule);
+  if (it == rule_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t RuleGraph::EdgeKey(RuleEdgeKind kind, RuleId head, RuleId mid,
+                            RuleId tail) {
+  uint64_t h = internal::HashMix((static_cast<uint64_t>(head) << 32) | tail);
+  h = internal::HashMix(h ^ mid);
+  return internal::HashMix(h ^ (kind == RuleEdgeKind::kTriadic ? 0x9E9Eu : 0u));
+}
+
+std::optional<RuleEdgeId> RuleGraph::FindEdge(RuleEdgeKind kind, RuleId head,
+                                              RuleId mid,
+                                              RuleId tail) const {
+  auto it = edge_index_.find(EdgeKey(kind, head, mid, tail));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+RuleEdgeId RuleGraph::AddEdge(const RuleEdge& edge) {
+  ANOT_CHECK(edge.head < rules_.size() && edge.tail < rules_.size())
+      << "edge references unknown rule";
+  ANOT_CHECK(edge.kind == RuleEdgeKind::kChain || edge.mid < rules_.size())
+      << "triadic edge requires a mid rule";
+  const uint64_t key = EdgeKey(edge.kind, edge.head, edge.mid, edge.tail);
+  auto it = edge_index_.find(key);
+  if (it != edge_index_.end()) {
+    // Merge: extend timespans and support of the existing edge.
+    RuleEdge& existing = edges_[it->second];
+    for (Timestamp s : edge.timespans) AddTimespan(it->second, s);
+    existing.support += edge.support;
+    return it->second;
+  }
+  const RuleEdgeId id = static_cast<RuleEdgeId>(edges_.size());
+  edges_.push_back(edge);
+  std::sort(edges_.back().timespans.begin(), edges_.back().timespans.end());
+  edge_index_.emplace(key, id);
+  in_edges_[edge.tail].push_back(id);
+  out_edges_[edge.head].push_back(id);
+  if (edge.kind == RuleEdgeKind::kTriadic && edge.mid != edge.head) {
+    out_edges_[edge.mid].push_back(id);
+  }
+  return id;
+}
+
+const std::vector<RuleEdgeId>& RuleGraph::InEdges(RuleId rule) const {
+  if (rule >= in_edges_.size()) return kNoEdges;
+  return in_edges_[rule];
+}
+
+const std::vector<RuleEdgeId>& RuleGraph::OutEdges(RuleId rule) const {
+  if (rule >= out_edges_.size()) return kNoEdges;
+  return out_edges_[rule];
+}
+
+void RuleGraph::AddTimespan(RuleEdgeId id, Timestamp span) {
+  auto& spans = edges_[id].timespans;
+  spans.insert(std::upper_bound(spans.begin(), spans.end(), span), span);
+}
+
+std::string RuleGraph::ToString() const {
+  std::string out = StrFormat("RuleGraph: %zu rules (%zu static), %zu edges\n",
+                              rules_.size(), num_static_, edges_.size());
+  for (RuleId id = 0; id < rules_.size(); ++id) {
+    const AtomicRule& r = rules_[id];
+    out += StrFormat("  v%u: (c%u, r%u, c%u) |A|=%u%s\n", id,
+                     r.subject_category, r.relation, r.object_category,
+                     support_[id], static_selected_[id] ? "" : " [temporal]");
+  }
+  for (RuleEdgeId id = 0; id < edges_.size(); ++id) {
+    const RuleEdge& e = edges_[id];
+    if (e.kind == RuleEdgeKind::kChain) {
+      out += StrFormat("  e%u: v%u -> v%u |T|=%zu |A|=%u\n", id, e.head,
+                       e.tail, e.timespans.size(), e.support);
+    } else {
+      out += StrFormat("  e%u: (v%u, v%u) -> v%u |T|=%zu |A|=%u\n", id,
+                       e.head, e.mid, e.tail, e.timespans.size(), e.support);
+    }
+  }
+  return out;
+}
+
+}  // namespace anot

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tkg/types.h"
+
+namespace anot {
+
+using RuleId = uint32_t;
+using RuleEdgeId = uint32_t;
+
+/// \brief An atomic rule (C(s), r, C(o)) — a node of the rule graph (§3.4.1).
+struct AtomicRule {
+  CategoryId subject_category = kInvalidId;
+  RelationId relation = kInvalidId;
+  CategoryId object_category = kInvalidId;
+
+  bool operator==(const AtomicRule& other) const {
+    return subject_category == other.subject_category &&
+           relation == other.relation &&
+           object_category == other.object_category;
+  }
+};
+
+struct AtomicRuleHash {
+  size_t operator()(const AtomicRule& r) const {
+    uint64_t h = internal::HashMix(
+        (static_cast<uint64_t>(r.subject_category) << 32) |
+        r.object_category);
+    return internal::HashMix(h ^ r.relation);
+  }
+};
+
+/// \brief Edge kinds (§3.4.2): chain occurring (v_h -> v_t) and triadic
+/// occurring ((v_h, v_m) -> v_t).
+enum class RuleEdgeKind { kChain, kTriadic };
+
+/// \brief A rule edge with its preserved occurrence timespans T(e).
+struct RuleEdge {
+  RuleEdgeKind kind = RuleEdgeKind::kChain;
+  RuleId head = kInvalidId;
+  RuleId mid = kInvalidId;  // kInvalidId for chain edges
+  RuleId tail = kInvalidId;
+  /// Occurrence timespans of the described fact pairs, ascending.
+  std::vector<Timestamp> timespans;
+  /// Number of correct assertions |A_e| observed at selection time.
+  uint32_t support = 0;
+};
+
+/// \brief The rule graph: the paper's TKG summarization structure.
+///
+/// Nodes are atomic rules; edges preserve the sequential relevance between
+/// them. Nodes carry their correct-assertion count |A_v| which anchors both
+/// the static score (Eq. 9) and the temporal evidence weights (Eq. 10).
+///
+/// Some edges reference atomic rules that were *not* selected during the
+/// static pass; the paper restricts those rules to time-error verification,
+/// tracked here by the per-rule `static_selected` flag.
+class RuleGraph {
+ public:
+  /// Adds (or finds) a rule node. Increments nothing; support is managed
+  /// by the caller via SetSupport/AddSupport.
+  RuleId AddRule(const AtomicRule& rule, bool static_selected);
+
+  /// Id lookup; nullopt when the rule is not a node.
+  std::optional<RuleId> FindRule(const AtomicRule& rule) const;
+
+  /// Adds an edge; merges timespans into an existing identical edge.
+  RuleEdgeId AddEdge(const RuleEdge& edge);
+
+  size_t num_rules() const { return rules_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  /// Number of rules usable for static (conceptual) scoring.
+  size_t num_static_rules() const { return num_static_; }
+
+  const AtomicRule& rule(RuleId id) const { return rules_[id]; }
+  bool static_selected(RuleId id) const { return static_selected_[id]; }
+  uint32_t support(RuleId id) const { return support_[id]; }
+  void SetSupport(RuleId id, uint32_t support) { support_[id] = support; }
+  void AddSupport(RuleId id, uint32_t delta) { support_[id] += delta; }
+
+  /// Whether the pattern repeats on the same entity pair (learned from the
+  /// assertion data at build time). An already-occurred successor of a
+  /// recurrent pattern is expected, not an occurrence-order conflict, so
+  /// temporal scoring skips violation checks on recurrent tails.
+  bool recurrent(RuleId id) const { return recurrent_[id]; }
+  void SetRecurrent(RuleId id, bool recurrent) { recurrent_[id] = recurrent; }
+
+  const RuleEdge& edge(RuleEdgeId id) const { return edges_[id]; }
+  RuleEdge& mutable_edge(RuleEdgeId id) { return edges_[id]; }
+
+  /// Edges whose tail is `rule` (precursor side of temporal scoring).
+  const std::vector<RuleEdgeId>& InEdges(RuleId rule) const;
+  /// Edges whose head or mid is `rule` (successor side; violation checks).
+  const std::vector<RuleEdgeId>& OutEdges(RuleId rule) const;
+
+  /// Appends an observed timespan to edge `id`, keeping T(e) sorted
+  /// (updater: timespan distribution changes).
+  void AddTimespan(RuleEdgeId id, Timestamp span);
+
+  /// Looks up an identical edge (kind/head/mid/tail), if present.
+  std::optional<RuleEdgeId> FindEdge(RuleEdgeKind kind, RuleId head,
+                                     RuleId mid, RuleId tail) const;
+
+  /// Multi-line human-readable dump (used by serialization and examples).
+  std::string ToString() const;
+
+ private:
+  static uint64_t EdgeKey(RuleEdgeKind kind, RuleId head, RuleId mid,
+                          RuleId tail);
+
+  std::vector<AtomicRule> rules_;
+  std::vector<uint32_t> support_;
+  std::vector<bool> static_selected_;
+  std::vector<bool> recurrent_;
+  size_t num_static_ = 0;
+  std::unordered_map<AtomicRule, RuleId, AtomicRuleHash> rule_index_;
+
+  std::vector<RuleEdge> edges_;
+  std::unordered_map<uint64_t, RuleEdgeId> edge_index_;
+  std::vector<std::vector<RuleEdgeId>> in_edges_;
+  std::vector<std::vector<RuleEdgeId>> out_edges_;
+};
+
+}  // namespace anot

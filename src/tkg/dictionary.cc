@@ -1,0 +1,27 @@
+#include "tkg/dictionary.h"
+
+#include "util/logging.h"
+
+namespace anot {
+
+uint32_t Dictionary::GetOrAdd(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Dictionary::TryGet(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::Name(uint32_t id) const {
+  ANOT_CHECK(id < names_.size()) << "dictionary id out of range: " << id;
+  return names_[id];
+}
+
+}  // namespace anot

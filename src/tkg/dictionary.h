@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace anot {
+
+/// \brief String interner mapping symbol names to dense uint32 ids.
+///
+/// Ids are assigned in first-seen order and are stable for the lifetime of
+/// the dictionary, which makes them safe to persist alongside fact files.
+class Dictionary {
+ public:
+  /// Returns the id of `name`, inserting it if unseen.
+  uint32_t GetOrAdd(std::string_view name);
+
+  /// Returns the id of `name` if present.
+  std::optional<uint32_t> TryGet(std::string_view name) const;
+
+  /// Returns the interned name for `id`. `id` must be < size().
+  const std::string& Name(uint32_t id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace anot

@@ -1,0 +1,140 @@
+#include "tkg/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+const std::vector<FactId> kEmptyFactList;
+const std::unordered_set<uint32_t> kEmptyTokenSet;
+}  // namespace
+
+void TemporalKnowledgeGraph::InsertSortedByTime(std::vector<FactId>* list,
+                                                FactId id) {
+  // Streaming appends arrive in (mostly) ascending time order, so the
+  // common case is push_back; out-of-order facts pay a short backward scan.
+  const Timestamp t = facts_[id].time;
+  if (list->empty() || facts_[list->back()].time <= t) {
+    list->push_back(id);
+    return;
+  }
+  auto pos = std::upper_bound(
+      list->begin(), list->end(), t,
+      [this](Timestamp lhs, FactId rhs) { return lhs < facts_[rhs].time; });
+  list->insert(pos, id);
+}
+
+FactId TemporalKnowledgeGraph::AddFact(const Fact& fact) {
+  ANOT_CHECK(fact.subject != kInvalidId && fact.object != kInvalidId &&
+             fact.relation != kInvalidId)
+      << "AddFact requires valid ids";
+  ANOT_CHECK(fact.end >= fact.time)
+      << "fact end time precedes start time";
+
+  const FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(fact);
+
+  num_entities_ = std::max(
+      num_entities_,
+      static_cast<size_t>(std::max(fact.subject, fact.object)) + 1);
+  num_relations_ =
+      std::max(num_relations_, static_cast<size_t>(fact.relation) + 1);
+  if (fact.end != fact.time) has_durations_ = true;
+  if (min_time_ == kNoTimestamp || fact.time < min_time_) {
+    min_time_ = fact.time;
+  }
+  if (max_time_ == kNoTimestamp || fact.time > max_time_) {
+    max_time_ = fact.time;
+  }
+
+  by_time_[fact.time].push_back(id);
+  InsertSortedByTime(&pair_index_[PairKey(fact.subject, fact.object)], id);
+  InsertSortedByTime(&subject_index_[fact.subject], id);
+  InsertSortedByTime(&object_index_[fact.object], id);
+
+  if (relation_tokens_.size() < num_entities_) {
+    relation_tokens_.resize(num_entities_);
+  }
+  relation_tokens_[fact.subject].insert(OutRelationToken(fact.relation));
+  relation_tokens_[fact.object].insert(InRelationToken(fact.relation));
+
+  ++triple_counts_[Triple{fact.subject, fact.relation, fact.object}];
+  fact_set_.insert(fact);
+  return id;
+}
+
+FactId TemporalKnowledgeGraph::AddFact(std::string_view subject,
+                                       std::string_view relation,
+                                       std::string_view object,
+                                       Timestamp time) {
+  return AddFact(subject, relation, object, time, time);
+}
+
+FactId TemporalKnowledgeGraph::AddFact(std::string_view subject,
+                                       std::string_view relation,
+                                       std::string_view object,
+                                       Timestamp start, Timestamp end) {
+  const EntityId s = entity_dict_.GetOrAdd(subject);
+  const RelationId r = relation_dict_.GetOrAdd(relation);
+  const EntityId o = entity_dict_.GetOrAdd(object);
+  return AddFact(Fact(s, r, o, start, end));
+}
+
+const std::vector<FactId>& TemporalKnowledgeGraph::FactsAt(
+    Timestamp t) const {
+  auto it = by_time_.find(t);
+  return it == by_time_.end() ? kEmptyFactList : it->second;
+}
+
+const std::vector<FactId>* TemporalKnowledgeGraph::FactsForPair(
+    EntityId s, EntityId o) const {
+  auto it = pair_index_.find(PairKey(s, o));
+  return it == pair_index_.end() ? nullptr : &it->second;
+}
+
+const std::vector<FactId>* TemporalKnowledgeGraph::FactsBySubject(
+    EntityId e) const {
+  auto it = subject_index_.find(e);
+  return it == subject_index_.end() ? nullptr : &it->second;
+}
+
+const std::vector<FactId>* TemporalKnowledgeGraph::FactsByObject(
+    EntityId e) const {
+  auto it = object_index_.find(e);
+  return it == object_index_.end() ? nullptr : &it->second;
+}
+
+const std::unordered_set<uint32_t>& TemporalKnowledgeGraph::RelationTokens(
+    EntityId e) const {
+  if (e >= relation_tokens_.size()) return kEmptyTokenSet;
+  return relation_tokens_[e];
+}
+
+bool TemporalKnowledgeGraph::Contains(const Fact& fact) const {
+  return fact_set_.count(fact) > 0;
+}
+
+bool TemporalKnowledgeGraph::ContainsTriple(EntityId s, RelationId r,
+                                            EntityId o) const {
+  return triple_counts_.count(Triple{s, r, o}) > 0;
+}
+
+uint32_t TemporalKnowledgeGraph::TripleCount(EntityId s, RelationId r,
+                                             EntityId o) const {
+  auto it = triple_counts_.find(Triple{s, r, o});
+  return it == triple_counts_.end() ? 0 : it->second;
+}
+
+std::string TemporalKnowledgeGraph::EntityName(EntityId e) const {
+  if (e < entity_dict_.size()) return entity_dict_.Name(e);
+  return "E" + std::to_string(e);
+}
+
+std::string TemporalKnowledgeGraph::RelationName(RelationId r) const {
+  if (r < relation_dict_.size()) return relation_dict_.Name(r);
+  return "R" + std::to_string(r);
+}
+
+}  // namespace anot

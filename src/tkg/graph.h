@@ -1,0 +1,133 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "tkg/dictionary.h"
+#include "tkg/types.h"
+
+namespace anot {
+
+/// \brief In-memory temporal knowledge graph G = (E, R, T, F).
+///
+/// The store is append-only (facts are never removed; real TKGs only grow,
+/// see paper §3.1) and maintains the secondary indexes every AnoT component
+/// needs:
+///
+///  * by-timestamp index                      — candidate generation, monitor
+///  * per-(s,o)-pair interaction sequences    — chain-occurring patterns
+///  * per-entity subject/object fact lists    — triadic patterns, baselines
+///  * per-entity directed relation token sets — category mining (R(e))
+///  * (s,r,o) triple counts                   — membership and statistics
+///
+/// All indexes are updated incrementally by AddFact, which is what makes
+/// the online updater O(|C(s)|·|C(o)| + f_max) per new fact (paper §4.6).
+///
+/// Thread compatibility: const methods are safe to call concurrently;
+/// AddFact requires external synchronization.
+class TemporalKnowledgeGraph {
+ public:
+  TemporalKnowledgeGraph() = default;
+
+  /// Appends a fact by raw ids; grows entity/relation universes as needed.
+  /// Returns the new fact's id.
+  FactId AddFact(const Fact& fact);
+
+  /// Appends a fact by symbol names (interned into the dictionaries).
+  FactId AddFact(std::string_view subject, std::string_view relation,
+                 std::string_view object, Timestamp time);
+  FactId AddFact(std::string_view subject, std::string_view relation,
+                 std::string_view object, Timestamp start, Timestamp end);
+
+  // -- Universe sizes -------------------------------------------------------
+
+  size_t num_facts() const { return facts_.size(); }
+  /// Number of distinct entity ids (max id + 1; ids are dense).
+  size_t num_entities() const { return num_entities_; }
+  size_t num_relations() const { return num_relations_; }
+  size_t num_timestamps() const { return by_time_.size(); }
+
+  // -- Fact access ----------------------------------------------------------
+
+  const std::vector<Fact>& facts() const { return facts_; }
+  const Fact& fact(FactId id) const { return facts_[id]; }
+
+  /// Facts observed at exactly timestamp t (empty if none).
+  const std::vector<FactId>& FactsAt(Timestamp t) const;
+
+  /// All observed timestamps in ascending order with their facts.
+  const std::map<Timestamp, std::vector<FactId>>& by_time() const {
+    return by_time_;
+  }
+
+  /// Interaction sequence of the ordered pair (s, o): fact ids sorted by
+  /// (time, id). Returns nullptr when the pair never interacted.
+  const std::vector<FactId>* FactsForPair(EntityId s, EntityId o) const;
+
+  /// All pair interaction sequences, keyed by PairKey(s, o). Iteration
+  /// order is unspecified; callers needing determinism must sort.
+  const std::unordered_map<uint64_t, std::vector<FactId>>& pair_sequences()
+      const {
+    return pair_index_;
+  }
+
+  /// Facts with `e` as subject / object, sorted by (time, id).
+  const std::vector<FactId>* FactsBySubject(EntityId e) const;
+  const std::vector<FactId>* FactsByObject(EntityId e) const;
+
+  /// Directed relation tokens R(e) the entity has interacted with
+  /// (OutRelationToken for subject roles, InRelationToken for object roles).
+  const std::unordered_set<uint32_t>& RelationTokens(EntityId e) const;
+
+  /// Exact membership of a (s, r, o, t[, end]) fact.
+  bool Contains(const Fact& fact) const;
+  /// Whether the triple (s, r, o) occurs at any timestamp.
+  bool ContainsTriple(EntityId s, RelationId r, EntityId o) const;
+  /// Number of facts carrying the triple (s, r, o).
+  uint32_t TripleCount(EntityId s, RelationId r, EntityId o) const;
+
+  Timestamp min_time() const { return min_time_; }
+  Timestamp max_time() const { return max_time_; }
+
+  /// True when any fact has end != time (duration-based TKG).
+  bool has_durations() const { return has_durations_; }
+
+  // -- Symbol names ---------------------------------------------------------
+
+  Dictionary& entity_dict() { return entity_dict_; }
+  Dictionary& relation_dict() { return relation_dict_; }
+  const Dictionary& entity_dict() const { return entity_dict_; }
+  const Dictionary& relation_dict() const { return relation_dict_; }
+
+  /// Human-readable names with an "E<id>" / "R<id>" fallback for graphs
+  /// built from raw ids.
+  std::string EntityName(EntityId e) const;
+  std::string RelationName(RelationId r) const;
+
+ private:
+  std::vector<Fact> facts_;
+  size_t num_entities_ = 0;
+  size_t num_relations_ = 0;
+  bool has_durations_ = false;
+  Timestamp min_time_ = kNoTimestamp;
+  Timestamp max_time_ = kNoTimestamp;
+
+  std::map<Timestamp, std::vector<FactId>> by_time_;
+  std::unordered_map<uint64_t, std::vector<FactId>> pair_index_;
+  std::unordered_map<EntityId, std::vector<FactId>> subject_index_;
+  std::unordered_map<EntityId, std::vector<FactId>> object_index_;
+  std::vector<std::unordered_set<uint32_t>> relation_tokens_;
+  std::unordered_map<Triple, uint32_t, TripleHash> triple_counts_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+
+  Dictionary entity_dict_;
+  Dictionary relation_dict_;
+
+  void InsertSortedByTime(std::vector<FactId>* list, FactId id);
+};
+
+}  // namespace anot

@@ -1,0 +1,109 @@
+#include "tkg/loader.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+#include "util/tsv.h"
+
+namespace anot {
+
+namespace {
+
+// Days from 1970-01-01 to y-m-d using the civil-days algorithm
+// (Howard Hinnant's days_from_civil).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+Result<Timestamp> TkgIo::ParseTime(const std::string& field) {
+  // ISO date?
+  const auto parts = Split(field, '-');
+  if (parts.size() == 3 && !parts[0].empty()) {
+    char* end = nullptr;
+    int64_t y = std::strtoll(parts[0].c_str(), &end, 10);
+    if (*end != '\0') {
+      return Status::InvalidArgument("bad year in date: " + field);
+    }
+    int64_t m = std::strtoll(parts[1].c_str(), &end, 10);
+    if (*end != '\0' || m < 1 || m > 12) {
+      return Status::InvalidArgument("bad month in date: " + field);
+    }
+    int64_t d = std::strtoll(parts[2].c_str(), &end, 10);
+    if (*end != '\0' || d < 1 || d > 31) {
+      return Status::InvalidArgument("bad day in date: " + field);
+    }
+    return DaysFromCivil(y, static_cast<unsigned>(m),
+                         static_cast<unsigned>(d));
+  }
+  char* end = nullptr;
+  int64_t ticks = std::strtoll(field.c_str(), &end, 10);
+  if (field.empty() || *end != '\0') {
+    return Status::InvalidArgument("bad time field: " + field);
+  }
+  return ticks;
+}
+
+Result<std::unique_ptr<TemporalKnowledgeGraph>> TkgIo::LoadTsv(
+    const std::string& path) {
+  auto graph = std::make_unique<TemporalKnowledgeGraph>();
+  size_t expected_arity = 0;
+  size_t line_no = 0;
+  Status st = TsvReader::ForEachRow(
+      path, [&](const std::vector<std::string>& row) -> Status {
+        ++line_no;
+        if (expected_arity == 0) {
+          if (row.size() != 4 && row.size() != 5) {
+            return Status::InvalidArgument(
+                StrFormat("%s: expected 4 or 5 columns, got %zu",
+                          path.c_str(), row.size()));
+          }
+          expected_arity = row.size();
+        }
+        if (row.size() != expected_arity) {
+          return Status::InvalidArgument(
+              StrFormat("%s:%zu: inconsistent arity %zu (expected %zu)",
+                        path.c_str(), line_no, row.size(), expected_arity));
+        }
+        auto start = ParseTime(row[3]);
+        if (!start.ok()) return start.status();
+        Timestamp end_time = start.value();
+        if (expected_arity == 5) {
+          auto end_res = ParseTime(row[4]);
+          if (!end_res.ok()) return end_res.status();
+          end_time = end_res.value();
+          if (end_time < start.value()) {
+            return Status::InvalidArgument(
+                StrFormat("%s:%zu: end before start", path.c_str(),
+                          line_no));
+          }
+        }
+        graph->AddFact(row[0], row[1], row[2], start.value(), end_time);
+        return Status::OK();
+      });
+  if (!st.ok()) return st;
+  return graph;
+}
+
+Status TkgIo::SaveTsv(const TemporalKnowledgeGraph& graph,
+                      const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(graph.num_facts());
+  const bool durations = graph.has_durations();
+  for (const Fact& f : graph.facts()) {
+    std::vector<std::string> row{
+        graph.EntityName(f.subject), graph.RelationName(f.relation),
+        graph.EntityName(f.object), std::to_string(f.time)};
+    if (durations) row.push_back(std::to_string(f.end));
+    rows.push_back(std::move(row));
+  }
+  return TsvWriter::WriteAll(path, rows);
+}
+
+}  // namespace anot

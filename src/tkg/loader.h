@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tkg/graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace anot {
+
+/// \brief Readers/writers for the standard TKG text formats.
+///
+/// Quadruple files (ICEWS / GDELT convention) are tab-separated
+/// `subject  relation  object  time`; quintuple files (Wikidata-style
+/// durations) append `end_time`. Time fields are either integer ticks or
+/// ISO dates `YYYY-MM-DD` (converted to days since 1970-01-01).
+class TkgIo {
+ public:
+  /// Loads a quadruple or quintuple TSV into a fresh graph. The arity is
+  /// detected per file from the first data row and enforced afterwards.
+  static Result<std::unique_ptr<TemporalKnowledgeGraph>> LoadTsv(
+      const std::string& path);
+
+  /// Writes a graph as quadruples (or quintuples when it has durations).
+  static Status SaveTsv(const TemporalKnowledgeGraph& graph,
+                        const std::string& path);
+
+  /// Parses an integer tick or ISO date into a Timestamp.
+  static Result<Timestamp> ParseTime(const std::string& field);
+};
+
+}  // namespace anot

@@ -1,0 +1,64 @@
+#include "tkg/split.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace anot {
+
+TimeSplit SplitByTimestamps(const TemporalKnowledgeGraph& graph,
+                            double train_fraction, double val_fraction) {
+  ANOT_CHECK(train_fraction > 0.0 && val_fraction >= 0.0 &&
+             train_fraction + val_fraction < 1.0)
+      << "invalid split fractions";
+  TimeSplit split;
+  const auto& by_time = graph.by_time();
+  const size_t num_ts = by_time.size();
+  if (num_ts == 0) return split;
+
+  const size_t train_ts = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(num_ts) * train_fraction));
+  const size_t val_ts = static_cast<size_t>(
+      static_cast<double>(num_ts) * val_fraction);
+
+  size_t idx = 0;
+  for (const auto& [t, fact_ids] : by_time) {
+    std::vector<FactId>* bucket = nullptr;
+    if (idx < train_ts) {
+      bucket = &split.train;
+      split.train_end = t;
+    } else if (idx < train_ts + val_ts) {
+      bucket = &split.val;
+      split.val_end = t;
+    } else {
+      bucket = &split.test;
+    }
+    bucket->insert(bucket->end(), fact_ids.begin(), fact_ids.end());
+    ++idx;
+  }
+  if (split.val_end == kNoTimestamp) split.val_end = split.train_end;
+  return split;
+}
+
+std::unique_ptr<TemporalKnowledgeGraph> Subgraph(
+    const TemporalKnowledgeGraph& graph, const std::vector<FactId>& facts) {
+  auto out = std::make_unique<TemporalKnowledgeGraph>();
+  // Preserve symbol tables so ids remain comparable across windows.
+  for (size_t e = 0; e < graph.entity_dict().size(); ++e) {
+    out->entity_dict().GetOrAdd(graph.entity_dict().Name(e));
+  }
+  for (size_t r = 0; r < graph.relation_dict().size(); ++r) {
+    out->relation_dict().GetOrAdd(graph.relation_dict().Name(r));
+  }
+  std::vector<FactId> ordered = facts;
+  std::sort(ordered.begin(), ordered.end(), [&](FactId a, FactId b) {
+    const Fact& fa = graph.fact(a);
+    const Fact& fb = graph.fact(b);
+    if (fa.time != fb.time) return fa.time < fb.time;
+    return a < b;
+  });
+  for (FactId id : ordered) out->AddFact(graph.fact(id));
+  return out;
+}
+
+}  // namespace anot

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief A train/validation/test partition of a TKG by timestamp.
+///
+/// The paper's protocol (§5.1): facts in the first 60% of observed
+/// timestamps build the model, the next 10% tune thresholds, the last 30%
+/// are the test stream.
+struct TimeSplit {
+  std::vector<FactId> train;
+  std::vector<FactId> val;
+  std::vector<FactId> test;
+  /// Last timestamp (inclusive) of each window; kNoTimestamp when empty.
+  Timestamp train_end = kNoTimestamp;
+  Timestamp val_end = kNoTimestamp;
+};
+
+/// Splits on *distinct observed timestamps* (not fact counts), matching
+/// the paper's "former 60% timestamps" wording.
+TimeSplit SplitByTimestamps(const TemporalKnowledgeGraph& graph,
+                            double train_fraction, double val_fraction);
+
+/// Builds a graph containing only the given facts (same symbol tables).
+/// Used to materialize the offline-preserved part of a TKG.
+std::unique_ptr<TemporalKnowledgeGraph> Subgraph(
+    const TemporalKnowledgeGraph& graph, const std::vector<FactId>& facts);
+
+}  // namespace anot

@@ -1,0 +1,41 @@
+#include "tkg/stats.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace anot {
+
+TkgStats ComputeStats(const TemporalKnowledgeGraph& graph) {
+  TkgStats stats;
+  stats.num_entities = graph.num_entities();
+  stats.num_relations = graph.num_relations();
+  stats.num_timestamps = graph.num_timestamps();
+  stats.num_facts = graph.num_facts();
+  stats.has_durations = graph.has_durations();
+  if (stats.num_timestamps > 0) {
+    stats.mean_facts_per_timestamp =
+        static_cast<double>(stats.num_facts) /
+        static_cast<double>(stats.num_timestamps);
+  }
+  std::unordered_set<uint64_t> pairs;
+  for (const Fact& f : graph.facts()) {
+    pairs.insert(PairKey(f.subject, f.object));
+  }
+  if (!pairs.empty()) {
+    stats.mean_pair_sequence_length =
+        static_cast<double>(stats.num_facts) /
+        static_cast<double>(pairs.size());
+  }
+  return stats;
+}
+
+std::string TkgStats::ToString() const {
+  return StrFormat(
+      "|E|=%zu |R|=%zu |T|=%zu |F|=%zu facts/ts=%.1f seq_len=%.2f%s",
+      num_entities, num_relations, num_timestamps, num_facts,
+      mean_facts_per_timestamp, mean_pair_sequence_length,
+      has_durations ? " (durations)" : "");
+}
+
+}  // namespace anot

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "tkg/graph.h"
+
+namespace anot {
+
+/// \brief Summary statistics of a TKG, matching the columns of the paper's
+/// Table 1.
+struct TkgStats {
+  size_t num_entities = 0;
+  size_t num_relations = 0;
+  size_t num_timestamps = 0;
+  size_t num_facts = 0;
+  double mean_facts_per_timestamp = 0.0;
+  double mean_pair_sequence_length = 0.0;
+  bool has_durations = false;
+
+  std::string ToString() const;
+};
+
+/// Computes statistics over `graph`.
+TkgStats ComputeStats(const TemporalKnowledgeGraph& graph);
+
+}  // namespace anot

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace anot {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that aborts the process after emitting (fatal checks).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ANOT_LOG(level)                                                   \
+  ::anot::internal::LogMessage(::anot::LogLevel::k##level, __FILE__,      \
+                               __LINE__)                                  \
+      .stream()
+
+/// Invariant check active in all build types. Use for programmer errors
+/// that must never ship silently (Google style: fail fast and loudly).
+#define ANOT_CHECK(expr)                                                  \
+  if (!(expr))                                                            \
+  ::anot::internal::FatalMessage(__FILE__, __LINE__, #expr).stream()
+
+#define ANOT_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    ::anot::Status _st = (expr);                                          \
+    ANOT_CHECK(_st.ok()) << _st.ToString();                               \
+  } while (0)
+
+/// Debug-only check.
+#ifdef NDEBUG
+#define ANOT_DCHECK(expr) ANOT_CHECK(true)
+#else
+#define ANOT_DCHECK(expr) ANOT_CHECK(expr)
+#endif
+
+}  // namespace anot

@@ -1,0 +1,152 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace anot {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  ANOT_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  ANOT_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; one draw per call keeps the state sequence simple to reason
+  // about for reproducibility.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::Exponential(double mean) {
+  ANOT_DCHECK(mean > 0);
+  double u = UniformDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  ANOT_DCHECK(n > 0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    for (auto& c : zipf_cdf_) c /= acc;
+  }
+  double u = UniformDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  ANOT_CHECK(k <= n) << "cannot sample " << k << " from " << n;
+  if (k == 0) return {};
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    Shuffle(&idx);
+    idx.resize(k);
+    return idx;
+  }
+  // Sparse case: rejection into a hash set.
+  std::unordered_set<size_t> seen;
+  std::vector<size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    size_t candidate = static_cast<size_t>(Uniform(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+size_t Rng::Weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    ANOT_DCHECK(w >= 0.0);
+    total += w;
+  }
+  ANOT_CHECK(total > 0.0) << "Weighted() requires positive total weight";
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : n_(n), cdf_(n) {
+  ANOT_CHECK(n > 0);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace anot

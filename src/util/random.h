@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace anot {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// All stochastic components of the library draw from an explicitly seeded
+/// Rng so that every experiment is reproducible bit-for-bit. The generator
+/// is not cryptographically secure; it is fast and has good statistical
+/// quality for simulation workloads.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` via splitmix64 expansion.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric-ish exponential draw with given mean (> 0).
+  double Exponential(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s >= 0).
+  /// Uses an inverted-CDF table cached per (n, s) instance call; intended
+  /// for repeated draws, so prefer ZipfSampler for hot loops.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Draw an index proportional to non-negative weights (sum > 0).
+  size_t Weighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_[4];
+  // Cache for Zipf draws keyed by (n, s).
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+/// \brief Precomputed Zipf sampler for hot loops (e.g. datagen).
+class ZipfSampler {
+ public:
+  /// Ranks [0, n) with exponent s; rank 0 is the most popular.
+  ZipfSampler(uint64_t n, double s);
+  uint64_t Sample(Rng* rng) const;
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace anot

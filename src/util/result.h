@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace anot {
+
+/// \brief A value-or-Status union, the Result idiom from Arrow.
+///
+/// A Result<T> holds either a T (status().ok()) or an error Status.
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Assign the value of a Result expression or propagate its error.
+#define ANOT_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto&& _res_##__LINE__ = (expr);             \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = _res_##__LINE__.MoveValue();
+
+}  // namespace anot

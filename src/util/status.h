@@ -1,0 +1,98 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace anot {
+
+/// \brief Error codes used across the public API.
+///
+/// Following the database-engine idiom (RocksDB / Arrow), fallible public
+/// operations return a Status (or Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// \brief A lightweight success-or-error value.
+///
+/// Status is cheap to copy in the OK case (no allocation) and carries a
+/// human-readable message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Propagate a non-OK Status to the caller.
+#define ANOT_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::anot::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace anot

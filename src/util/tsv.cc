@@ -1,0 +1,44 @@
+#include "util/tsv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace anot {
+
+Status TsvReader::ForEachRow(
+    const std::string& path,
+    const std::function<Status(const std::vector<std::string>&)>& row_cb) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ANOT_RETURN_NOT_OK(row_cb(Split(line, '\t')));
+  }
+  if (in.bad()) {
+    return Status::IoError("read error on: " + path);
+  }
+  return Status::OK();
+}
+
+Status TsvWriter::WriteAll(
+    const std::string& path,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (const auto& row : rows) {
+    out << Join(row, "\t") << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("write error on: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace anot

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace anot {
+
+/// \brief Minimal TSV reader/writer for TKG dataset files.
+///
+/// TKG quadruple files are tab-separated `subject relation object time`
+/// (ICEWS convention); quintuple files append an end time. The reader
+/// streams line-by-line so multi-million-fact files never fully reside in
+/// memory.
+class TsvReader {
+ public:
+  /// Invokes `row_cb` for each non-empty, non-comment ('#') line with the
+  /// tab-split fields. Stops and returns an error if the callback returns
+  /// a non-OK Status.
+  static Status ForEachRow(
+      const std::string& path,
+      const std::function<Status(const std::vector<std::string>&)>& row_cb);
+};
+
+class TsvWriter {
+ public:
+  /// Writes all rows, tab-joined, one per line. Overwrites `path`.
+  static Status WriteAll(const std::string& path,
+                         const std::vector<std::vector<std::string>>& rows);
+};
+
+}  // namespace anot

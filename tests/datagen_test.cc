@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "tkg/stats.h"
+
+namespace anot {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig cfg;
+  cfg.num_entities = 200;
+  cfg.num_relations = 30;
+  cfg.num_timestamps = 120;
+  cfg.num_facts = 6000;
+  cfg.num_categories = 6;
+  cfg.num_chain_rules = 5;
+  cfg.num_triadic_rules = 3;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(GeneratorTest, Deterministic) {
+  SyntheticGenerator g1(SmallConfig());
+  SyntheticGenerator g2(SmallConfig());
+  auto a = g1.Generate();
+  auto b = g2.Generate();
+  ASSERT_EQ(a->num_facts(), b->num_facts());
+  for (size_t i = 0; i < a->num_facts(); ++i) {
+    EXPECT_TRUE(a->fact(i) == b->fact(i)) << "diverged at fact " << i;
+  }
+}
+
+TEST(GeneratorTest, SeedChangesOutput) {
+  auto cfg = SmallConfig();
+  SyntheticGenerator g1(cfg);
+  cfg.seed = 100;
+  SyntheticGenerator g2(cfg);
+  auto a = g1.Generate();
+  auto b = g2.Generate();
+  bool differs = a->num_facts() != b->num_facts();
+  if (!differs) {
+    for (size_t i = 0; i < a->num_facts(); ++i) {
+      if (!(a->fact(i) == b->fact(i))) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, HitsFactBudgetApproximately) {
+  auto cfg = SmallConfig();
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  double ratio = static_cast<double>(graph->num_facts()) /
+                 static_cast<double>(cfg.num_facts);
+  EXPECT_GT(ratio, 0.75) << graph->num_facts();
+  EXPECT_LT(ratio, 1.3) << graph->num_facts();
+}
+
+TEST(GeneratorTest, RespectsUniverseBounds) {
+  auto cfg = SmallConfig();
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  EXPECT_LE(graph->num_entities(), cfg.num_entities);
+  EXPECT_LE(graph->num_relations(), cfg.num_relations);
+  for (const Fact& f : graph->facts()) {
+    EXPECT_LT(f.subject, cfg.num_entities);
+    EXPECT_LT(f.object, cfg.num_entities);
+    EXPECT_LT(f.relation, cfg.num_relations);
+    EXPECT_GE(f.time, 0);
+    EXPECT_LT(f.time, static_cast<Timestamp>(cfg.num_timestamps));
+    EXPECT_NE(f.subject, f.object);
+  }
+}
+
+TEST(GeneratorTest, WorldModelConsistent) {
+  auto cfg = SmallConfig();
+  SyntheticGenerator gen(cfg);
+  const WorldModel& world = gen.world();
+  EXPECT_EQ(world.entity_primary_category.size(), cfg.num_entities);
+  EXPECT_EQ(world.relation_schema.size(), cfg.num_relations);
+  // Extensions may add length-3 links beyond the configured pair count.
+  EXPECT_GE(world.chain_rules.size(), cfg.num_chain_rules);
+  EXPECT_EQ(world.triadic_rules.size(), cfg.num_triadic_rules);
+  // Every category is inhabited.
+  for (const auto& members : world.category_members) {
+    EXPECT_FALSE(members.empty());
+  }
+  // Chain tails share the head's schema.
+  for (const auto& rule : world.chain_rules) {
+    EXPECT_EQ(world.relation_schema[rule.head],
+              world.relation_schema[rule.tail]);
+    EXPECT_NE(rule.head, rule.tail);
+  }
+  // Chain tails are distinct and never equal their head; a relation may
+  // appear as both the tail of one rule and the head of its length-3
+  // extension, but triadic rules stay disjoint from everything.
+  std::unordered_set<RelationId> tails;
+  std::unordered_set<RelationId> chain_relations;
+  for (const auto& rule : world.chain_rules) {
+    EXPECT_NE(rule.head, rule.tail);
+    EXPECT_TRUE(tails.insert(rule.tail).second);
+    chain_relations.insert(rule.head);
+    chain_relations.insert(rule.tail);
+  }
+  for (const auto& rule : world.triadic_rules) {
+    for (RelationId r : {rule.head, rule.mid, rule.close}) {
+      EXPECT_EQ(chain_relations.count(r), 0u);
+      EXPECT_TRUE(chain_relations.insert(r).second);
+    }
+  }
+}
+
+TEST(GeneratorTest, PlantedChainsActuallyOccur) {
+  auto cfg = SmallConfig();
+  cfg.chain_follow_prob = 0.9;
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  const WorldModel& world = gen.world();
+  // Count (s, head, o, t1) followed by (s, tail, o, t2 > t1).
+  size_t chains_observed = 0;
+  const auto& rule = world.chain_rules.front();
+  for (const Fact& f : graph->facts()) {
+    if (f.relation != rule.head) continue;
+    const auto* seq = graph->FactsForPair(f.subject, f.object);
+    if (seq == nullptr) continue;
+    for (FactId id : *seq) {
+      const Fact& g = graph->fact(id);
+      if (g.relation == rule.tail && g.time > f.time) {
+        ++chains_observed;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(chains_observed, 5u);
+}
+
+TEST(GeneratorTest, EntityNamesEncodeCategory) {
+  SyntheticGenerator gen(SmallConfig());
+  auto graph = gen.Generate();
+  const WorldModel& world = gen.world();
+  for (EntityId e = 0; e < 20; ++e) {
+    const std::string name = graph->EntityName(e);
+    const std::string cat =
+        world.category_names[world.entity_primary_category[e]];
+    EXPECT_EQ(name.rfind(cat, 0), 0u)
+        << name << " should start with " << cat;
+  }
+}
+
+TEST(GeneratorTest, DurationModeProducesDurations) {
+  auto cfg = SmallConfig();
+  cfg.durations = true;
+  cfg.mean_duration = 15.0;
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  EXPECT_TRUE(graph->has_durations());
+  size_t with_span = 0;
+  for (const Fact& f : graph->facts()) {
+    EXPECT_GE(f.end, f.time);
+    with_span += (f.end > f.time);
+  }
+  EXPECT_GT(with_span, graph->num_facts() / 2);
+}
+
+// ---------------------------------------------------------------- Presets
+
+TEST(PresetTest, ByNameResolvesAllFive) {
+  for (const char* name :
+       {"icews14", "icews05-15", "yago11k", "gdelt", "wikidata"}) {
+    auto cfg = DatasetPresets::ByName(name);
+    ASSERT_TRUE(cfg.ok()) << name;
+    EXPECT_FALSE(cfg.value().name.empty());
+  }
+  EXPECT_FALSE(DatasetPresets::ByName("freebase").ok());
+}
+
+TEST(PresetTest, FullScaleMatchesTable1) {
+  auto cfg = DatasetPresets::Icews14(1.0);
+  EXPECT_EQ(cfg.num_entities, 7128u);
+  EXPECT_EQ(cfg.num_relations, 230u);
+  EXPECT_EQ(cfg.num_timestamps, 365u);
+  EXPECT_EQ(cfg.num_facts, 90730u);
+
+  auto gdelt = DatasetPresets::Gdelt(1.0);
+  EXPECT_EQ(gdelt.num_facts, 3419607u);
+  auto wiki = DatasetPresets::Wikidata(1.0);
+  EXPECT_TRUE(wiki.durations);
+}
+
+TEST(PresetTest, ScaleShrinksEntitiesAndFacts) {
+  auto full = DatasetPresets::Icews14(1.0);
+  auto small = DatasetPresets::Icews14(0.1);
+  EXPECT_LT(small.num_entities, full.num_entities);
+  EXPECT_LT(small.num_facts, full.num_facts);
+  EXPECT_EQ(small.num_relations, full.num_relations);
+  EXPECT_EQ(small.num_timestamps, full.num_timestamps);
+}
+
+TEST(PresetTest, MainSuiteIsFourPointDatasets) {
+  auto suite = DatasetPresets::MainBenchmarkSuite();
+  ASSERT_EQ(suite.size(), 4u);
+  for (const auto& cfg : suite) EXPECT_FALSE(cfg.durations);
+}
+
+TEST(PresetTest, SmallPresetGeneratesQuickly) {
+  auto cfg = DatasetPresets::Yago11k(0.02);
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  TkgStats stats = ComputeStats(*graph);
+  EXPECT_GT(stats.num_facts, 1000u);
+  EXPECT_EQ(stats.num_relations, 10u);
+}
+
+}  // namespace
+}  // namespace anot

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generator.h"
+#include "mining/category_function.h"
+#include "mining/prefixspan.h"
+
+namespace anot {
+namespace {
+
+// -------------------------------------------------------------- PrefixSpan
+
+TEST(PrefixSpanTest, FindsAllFrequentSubsets) {
+  // Transactions over items {1,2,3}: {1,2,3} x3, {1,2} x1, {3} x1.
+  std::vector<std::vector<uint32_t>> txns{
+      {1, 2, 3}, {1, 2, 3}, {1, 2, 3}, {1, 2}, {3}};
+  PrefixSpan::Options opts;
+  opts.min_support = 3;
+  auto patterns = PrefixSpan::Mine(txns, opts);
+
+  std::set<std::vector<uint32_t>> found;
+  for (const auto& p : patterns) found.insert(p.items);
+  // Frequent (support >= 3): {1},{2},{3},{1,2},{1,3},{2,3},{1,2,3}.
+  EXPECT_EQ(found.size(), 7u);
+  EXPECT_TRUE(found.count({1}));
+  EXPECT_TRUE(found.count({1, 2}));
+  EXPECT_TRUE(found.count({1, 2, 3}));
+  EXPECT_TRUE(found.count({2, 3}));
+}
+
+TEST(PrefixSpanTest, SupportCountsAndOwnersCorrect) {
+  std::vector<std::vector<uint32_t>> txns{{1, 2}, {1}, {2}, {1, 2}};
+  PrefixSpan::Options opts;
+  opts.min_support = 2;
+  auto patterns = PrefixSpan::Mine(txns, opts);
+  for (const auto& p : patterns) {
+    if (p.items == std::vector<uint32_t>{1, 2}) {
+      EXPECT_EQ(p.support(), 2u);
+      EXPECT_EQ(p.owners, (std::vector<uint32_t>{0, 3}));
+    }
+    if (p.items == std::vector<uint32_t>{1}) {
+      EXPECT_EQ(p.support(), 3u);
+    }
+  }
+}
+
+TEST(PrefixSpanTest, MinSupportFilters) {
+  std::vector<std::vector<uint32_t>> txns{{1, 2}, {1}, {3}};
+  PrefixSpan::Options opts;
+  opts.min_support = 2;
+  auto patterns = PrefixSpan::Mine(txns, opts);
+  for (const auto& p : patterns) {
+    EXPECT_GE(p.support(), 2u);
+    EXPECT_NE(p.items, std::vector<uint32_t>{3});
+  }
+}
+
+TEST(PrefixSpanTest, MaxLengthBoundsPatternSize) {
+  std::vector<std::vector<uint32_t>> txns{
+      {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}};
+  PrefixSpan::Options opts;
+  opts.min_support = 2;
+  opts.max_length = 2;
+  auto patterns = PrefixSpan::Mine(txns, opts);
+  for (const auto& p : patterns) EXPECT_LE(p.items.size(), 2u);
+  // 5 singletons + C(5,2)=10 pairs.
+  EXPECT_EQ(patterns.size(), 15u);
+}
+
+TEST(PrefixSpanTest, MaxPatternsCapStopsMining) {
+  std::vector<std::vector<uint32_t>> txns{
+      {1, 2, 3, 4, 5, 6, 7, 8}, {1, 2, 3, 4, 5, 6, 7, 8}};
+  PrefixSpan::Options opts;
+  opts.min_support = 2;
+  opts.max_patterns = 5;
+  auto patterns = PrefixSpan::Mine(txns, opts);
+  EXPECT_EQ(patterns.size(), 5u);
+}
+
+TEST(PrefixSpanTest, EmptyInput) {
+  PrefixSpan::Options opts;
+  EXPECT_TRUE(PrefixSpan::Mine({}, opts).empty());
+  EXPECT_TRUE(PrefixSpan::Mine({{}, {}}, opts).empty());
+}
+
+TEST(PrefixSpanTest, ItemsAreAscendingInEveryPattern) {
+  std::vector<std::vector<uint32_t>> txns{
+      {2, 5, 9}, {2, 5, 9}, {2, 9}, {5, 9}};
+  PrefixSpan::Options opts;
+  opts.min_support = 2;
+  auto patterns = PrefixSpan::Mine(txns, opts);
+  for (const auto& p : patterns) {
+    EXPECT_TRUE(std::is_sorted(p.items.begin(), p.items.end()));
+  }
+}
+
+// -------------------------------------------------------- CategoryFunction
+
+/// Builds a graph with two clear latent categories:
+///  - "athletes" interact as subjects of r0 (born) and r1 (plays_for)
+///  - "directors" interact as subjects of r0 (born) and r2 (directs)
+class CategoryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 8 athletes, 8 directors, shared object entities.
+    for (int i = 0; i < 8; ++i) {
+      std::string a = "athlete" + std::to_string(i);
+      g_.AddFact(a, "born_in", "country", 10 + i);
+      g_.AddFact(a, "plays_for", "club", 20 + i);
+    }
+    for (int i = 0; i < 8; ++i) {
+      std::string d = "director" + std::to_string(i);
+      g_.AddFact(d, "born_in", "country", 10 + i);
+      g_.AddFact(d, "directs", "movie", 30 + i);
+    }
+    opts_.min_support = 3;
+    opts_.max_categories_per_entity = 3;
+  }
+
+  TemporalKnowledgeGraph g_;
+  CategoryFunctionOptions opts_;
+};
+
+TEST_F(CategoryFixture, EveryActiveEntityGetsACategory) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  for (EntityId e = 0; e < g_.num_entities(); ++e) {
+    EXPECT_FALSE(fn.Categories(e).empty()) << g_.EntityName(e);
+    EXPECT_LE(fn.Categories(e).size(), opts_.max_categories_per_entity);
+  }
+}
+
+TEST_F(CategoryFixture, AthletesAndDirectorsShareCategories) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  EntityId a0 = *g_.entity_dict().TryGet("athlete0");
+  EntityId a1 = *g_.entity_dict().TryGet("athlete5");
+  EntityId d0 = *g_.entity_dict().TryGet("director0");
+
+  // Two athletes share at least one category.
+  std::vector<CategoryId> shared;
+  const auto& ca0 = fn.Categories(a0);
+  const auto& ca1 = fn.Categories(a1);
+  std::set_intersection(ca0.begin(), ca0.end(), ca1.begin(), ca1.end(),
+                        std::back_inserter(shared));
+  EXPECT_FALSE(shared.empty());
+
+  // An athlete and a director must not share the *athlete-specific*
+  // category (born+plays_for).
+  RelationId plays = *g_.relation_dict().TryGet("plays_for");
+  const uint32_t plays_token = OutRelationToken(plays);
+  for (CategoryId c : fn.Categories(d0)) {
+    const auto& combo = fn.Combination(c);
+    EXPECT_FALSE(std::binary_search(combo.begin(), combo.end(), plays_token))
+        << "director got an athlete category";
+  }
+}
+
+TEST_F(CategoryFixture, CombinationTokensMatchEntityBehaviour) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  // Every category of every entity must be a subset of the entity's tokens.
+  for (EntityId e = 0; e < g_.num_entities(); ++e) {
+    const auto& tokens = g_.RelationTokens(e);
+    for (CategoryId c : fn.Categories(e)) {
+      for (uint32_t t : fn.Combination(c)) {
+        EXPECT_TRUE(tokens.count(t) > 0)
+            << g_.EntityName(e) << " category " << c
+            << " demands a token the entity lacks";
+      }
+    }
+  }
+}
+
+TEST_F(CategoryFixture, MembersListsMatchAssignments) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  for (EntityId e = 0; e < g_.num_entities(); ++e) {
+    for (CategoryId c : fn.Categories(e)) {
+      const auto& members = fn.Members(c);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), e));
+    }
+  }
+}
+
+TEST_F(CategoryFixture, DescribeRendersRelationNames) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  EntityId a0 = *g_.entity_dict().TryGet("athlete0");
+  ASSERT_FALSE(fn.Categories(a0).empty());
+  std::string desc = fn.Describe(fn.Categories(a0).front(), g_);
+  EXPECT_FALSE(desc.empty());
+  // Mentions at least one of the athlete relations.
+  EXPECT_TRUE(desc.find("born_in") != std::string::npos ||
+              desc.find("plays_for") != std::string::npos)
+      << desc;
+}
+
+TEST_F(CategoryFixture, KLimitsCategoriesPerEntity) {
+  opts_.max_categories_per_entity = 1;
+  auto fn = CategoryFunction::Build(g_, opts_);
+  for (EntityId e = 0; e < g_.num_entities(); ++e) {
+    EXPECT_LE(fn.Categories(e).size(), 1u);
+  }
+}
+
+TEST_F(CategoryFixture, UpdateEntityAddsCategoryForNewToken) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  // A director starts playing for a club: new out-token plays_for.
+  EntityId d0 = *g_.entity_dict().TryGet("director0");
+  RelationId plays = *g_.relation_dict().TryGet("plays_for");
+  const size_t before = fn.Categories(d0).size();
+  g_.AddFact("director0", "plays_for", "club", 99);
+  CategoryId added = fn.UpdateEntity(d0, OutRelationToken(plays), g_);
+  EXPECT_NE(added, kInvalidId);
+  EXPECT_GT(fn.Categories(d0).size(), before);
+  // The entity is now a member of the added category.
+  const auto& members = fn.Members(added);
+  EXPECT_TRUE(std::binary_search(members.begin(), members.end(), d0));
+}
+
+TEST_F(CategoryFixture, UpdateEntityUnknownTokenCreatesSingleton) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  const size_t cats_before = fn.num_categories();
+  EntityId a0 = *g_.entity_dict().TryGet("athlete0");
+  g_.AddFact("athlete0", "retires_from", "club", 99);
+  RelationId retire = *g_.relation_dict().TryGet("retires_from");
+  CategoryId added = fn.UpdateEntity(a0, OutRelationToken(retire), g_);
+  EXPECT_NE(added, kInvalidId);
+  EXPECT_EQ(fn.num_categories(), cats_before + 1);
+  EXPECT_EQ(fn.Combination(added).size(), 1u);
+}
+
+TEST_F(CategoryFixture, UpdateEntityIdempotent) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  EntityId d0 = *g_.entity_dict().TryGet("director0");
+  RelationId plays = *g_.relation_dict().TryGet("plays_for");
+  g_.AddFact("director0", "plays_for", "club", 99);
+  CategoryId first = fn.UpdateEntity(d0, OutRelationToken(plays), g_);
+  EXPECT_NE(first, kInvalidId);
+  // Re-applying the same token is a no-op.
+  EXPECT_EQ(fn.UpdateEntity(d0, OutRelationToken(plays), g_), kInvalidId);
+}
+
+TEST_F(CategoryFixture, NewEntityGetsCategoriesViaUpdate) {
+  auto fn = CategoryFunction::Build(g_, opts_);
+  const EntityId fresh = static_cast<EntityId>(g_.num_entities());
+  g_.AddFact("newcomer", "plays_for", "club", 100);
+  RelationId plays = *g_.relation_dict().TryGet("plays_for");
+  EXPECT_TRUE(fn.Categories(fresh).empty());
+  CategoryId added = fn.UpdateEntity(fresh, OutRelationToken(plays), g_);
+  EXPECT_NE(added, kInvalidId);
+  EXPECT_FALSE(fn.Categories(fresh).empty());
+}
+
+TEST(CategoryFunctionTest, RecoversPlantedCategoriesOnSyntheticData) {
+  GeneratorConfig cfg;
+  cfg.num_entities = 300;
+  cfg.num_relations = 40;
+  cfg.num_timestamps = 150;
+  cfg.num_facts = 9000;
+  cfg.num_categories = 5;
+  cfg.secondary_category_prob = 0.0;  // crisp ground truth
+  cfg.noise_fraction = 0.02;
+  cfg.seed = 31;
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  const WorldModel& world = gen.world();
+
+  CategoryFunctionOptions opts;
+  opts.min_support = 5;
+  auto fn = CategoryFunction::Build(*graph, opts);
+  EXPECT_GT(fn.num_categories(), 0u);
+
+  // Entities sharing a planted category should share a mined category far
+  // more often than entities from different planted categories.
+  Rng rng(7);
+  auto share = [&](EntityId a, EntityId b) {
+    const auto& ca = fn.Categories(a);
+    const auto& cb = fn.Categories(b);
+    std::vector<CategoryId> inter;
+    std::set_intersection(ca.begin(), ca.end(), cb.begin(), cb.end(),
+                          std::back_inserter(inter));
+    return !inter.empty();
+  };
+  int same_shared = 0, diff_shared = 0, trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    EntityId a = static_cast<EntityId>(rng.Uniform(cfg.num_entities));
+    EntityId b = static_cast<EntityId>(rng.Uniform(cfg.num_entities));
+    if (a == b) continue;
+    const bool same_truth = world.entity_primary_category[a] ==
+                            world.entity_primary_category[b];
+    if (share(a, b)) (same_truth ? same_shared : diff_shared)++;
+  }
+  EXPECT_GT(same_shared, diff_shared)
+      << "mined categories do not track planted categories";
+}
+
+}  // namespace
+}  // namespace anot

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "rulegraph/rule_graph.h"
+
+namespace anot {
+namespace {
+
+AtomicRule MakeRule(CategoryId cs, RelationId r, CategoryId co) {
+  AtomicRule rule;
+  rule.subject_category = cs;
+  rule.relation = r;
+  rule.object_category = co;
+  return rule;
+}
+
+TEST(RuleGraphTest, AddAndFindRules) {
+  RuleGraph g;
+  RuleId a = g.AddRule(MakeRule(0, 1, 2), true);
+  RuleId b = g.AddRule(MakeRule(0, 1, 3), true);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.num_rules(), 2u);
+  EXPECT_EQ(*g.FindRule(MakeRule(0, 1, 2)), a);
+  EXPECT_FALSE(g.FindRule(MakeRule(9, 9, 9)).has_value());
+}
+
+TEST(RuleGraphTest, AddRuleIsIdempotentAndUpgradesStaticFlag) {
+  RuleGraph g;
+  RuleId a = g.AddRule(MakeRule(0, 1, 2), /*static_selected=*/false);
+  EXPECT_FALSE(g.static_selected(a));
+  EXPECT_EQ(g.num_static_rules(), 0u);
+  // Re-adding as static upgrades the flag; id is stable.
+  RuleId again = g.AddRule(MakeRule(0, 1, 2), /*static_selected=*/true);
+  EXPECT_EQ(a, again);
+  EXPECT_TRUE(g.static_selected(a));
+  EXPECT_EQ(g.num_static_rules(), 1u);
+  EXPECT_EQ(g.num_rules(), 1u);
+}
+
+TEST(RuleGraphTest, SupportTracking) {
+  RuleGraph g;
+  RuleId a = g.AddRule(MakeRule(1, 1, 1), true);
+  EXPECT_EQ(g.support(a), 0u);
+  g.SetSupport(a, 10);
+  g.AddSupport(a, 5);
+  EXPECT_EQ(g.support(a), 15u);
+}
+
+TEST(RuleGraphTest, ChainEdgeAdjacency) {
+  RuleGraph g;
+  RuleId h = g.AddRule(MakeRule(0, 0, 1), true);
+  RuleId t = g.AddRule(MakeRule(0, 1, 1), true);
+  RuleEdge e;
+  e.kind = RuleEdgeKind::kChain;
+  e.head = h;
+  e.tail = t;
+  e.timespans = {5, 3, 7};
+  e.support = 3;
+  RuleEdgeId id = g.AddEdge(e);
+
+  ASSERT_EQ(g.InEdges(t).size(), 1u);
+  EXPECT_EQ(g.InEdges(t)[0], id);
+  ASSERT_EQ(g.OutEdges(h).size(), 1u);
+  EXPECT_TRUE(g.InEdges(h).empty());
+  EXPECT_TRUE(g.OutEdges(t).empty());
+  // Timespans sorted on insert.
+  EXPECT_EQ(g.edge(id).timespans, (std::vector<Timestamp>{3, 5, 7}));
+}
+
+TEST(RuleGraphTest, TriadicEdgeAdjacency) {
+  RuleGraph g;
+  RuleId h = g.AddRule(MakeRule(0, 0, 2), true);
+  RuleId m = g.AddRule(MakeRule(1, 1, 2), true);
+  RuleId t = g.AddRule(MakeRule(0, 2, 1), true);
+  RuleEdge e;
+  e.kind = RuleEdgeKind::kTriadic;
+  e.head = h;
+  e.mid = m;
+  e.tail = t;
+  RuleEdgeId id = g.AddEdge(e);
+
+  EXPECT_EQ(g.InEdges(t).size(), 1u);
+  // Both head and mid see the edge as outgoing.
+  EXPECT_EQ(g.OutEdges(h).size(), 1u);
+  EXPECT_EQ(g.OutEdges(m).size(), 1u);
+  EXPECT_EQ(g.edge(id).kind, RuleEdgeKind::kTriadic);
+}
+
+TEST(RuleGraphTest, DuplicateEdgeMergesTimespansAndSupport) {
+  RuleGraph g;
+  RuleId h = g.AddRule(MakeRule(0, 0, 1), true);
+  RuleId t = g.AddRule(MakeRule(0, 1, 1), true);
+  RuleEdge e1;
+  e1.head = h;
+  e1.tail = t;
+  e1.timespans = {4};
+  e1.support = 1;
+  RuleEdge e2 = e1;
+  e2.timespans = {2, 9};
+  e2.support = 2;
+  RuleEdgeId a = g.AddEdge(e1);
+  RuleEdgeId b = g.AddEdge(e2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(a).timespans, (std::vector<Timestamp>{2, 4, 9}));
+  EXPECT_EQ(g.edge(a).support, 3u);
+}
+
+TEST(RuleGraphTest, FindEdgeDistinguishesKindAndMid) {
+  RuleGraph g;
+  RuleId a = g.AddRule(MakeRule(0, 0, 1), true);
+  RuleId b = g.AddRule(MakeRule(0, 1, 1), true);
+  RuleId c = g.AddRule(MakeRule(1, 2, 1), true);
+  RuleEdge chain;
+  chain.head = a;
+  chain.tail = b;
+  g.AddEdge(chain);
+
+  EXPECT_TRUE(g.FindEdge(RuleEdgeKind::kChain, a, kInvalidId, b).has_value());
+  EXPECT_FALSE(g.FindEdge(RuleEdgeKind::kChain, b, kInvalidId, a).has_value());
+  EXPECT_FALSE(g.FindEdge(RuleEdgeKind::kTriadic, a, c, b).has_value());
+}
+
+TEST(RuleGraphTest, AddTimespanKeepsSorted) {
+  RuleGraph g;
+  RuleId h = g.AddRule(MakeRule(0, 0, 1), true);
+  RuleId t = g.AddRule(MakeRule(0, 1, 1), true);
+  RuleEdge e;
+  e.head = h;
+  e.tail = t;
+  RuleEdgeId id = g.AddEdge(e);
+  g.AddTimespan(id, 9);
+  g.AddTimespan(id, 1);
+  g.AddTimespan(id, 5);
+  EXPECT_EQ(g.edge(id).timespans, (std::vector<Timestamp>{1, 5, 9}));
+}
+
+TEST(RuleGraphTest, ToStringMentionsCounts) {
+  RuleGraph g;
+  g.AddRule(MakeRule(0, 1, 2), true);
+  std::string s = g.ToString();
+  EXPECT_NE(s.find("1 rules"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anot

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tkg/dictionary.h"
+#include "tkg/graph.h"
+#include "tkg/loader.h"
+#include "tkg/split.h"
+#include "tkg/stats.h"
+#include "tkg/types.h"
+
+namespace anot {
+namespace {
+
+// ------------------------------------------------------------ Dictionary
+
+TEST(DictionaryTest, AssignsDenseIdsInFirstSeenOrder) {
+  Dictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(0), "a");
+  EXPECT_EQ(dict.Name(1), "b");
+}
+
+TEST(DictionaryTest, TryGetMissing) {
+  Dictionary dict;
+  dict.GetOrAdd("x");
+  EXPECT_TRUE(dict.TryGet("x").has_value());
+  EXPECT_FALSE(dict.TryGet("y").has_value());
+}
+
+// ----------------------------------------------------------------- types
+
+TEST(TypesTest, DirectedRelationTokens) {
+  EXPECT_EQ(OutRelationToken(5), 10u);
+  EXPECT_EQ(InRelationToken(5), 11u);
+  EXPECT_TRUE(IsOutToken(OutRelationToken(7)));
+  EXPECT_FALSE(IsOutToken(InRelationToken(7)));
+  EXPECT_EQ(TokenRelation(OutRelationToken(9)), 9u);
+  EXPECT_EQ(TokenRelation(InRelationToken(9)), 9u);
+}
+
+TEST(TypesTest, PairKeyUnique) {
+  EXPECT_NE(PairKey(1, 2), PairKey(2, 1));
+  EXPECT_EQ(PairKey(3, 4), PairKey(3, 4));
+}
+
+TEST(TypesTest, FactEqualityIncludesDuration) {
+  Fact a(1, 2, 3, 10);
+  Fact b(1, 2, 3, 10, 20);
+  EXPECT_FALSE(a == b);
+  b.end = 10;
+  EXPECT_TRUE(a == b);
+}
+
+// ----------------------------------------------------------------- Graph
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A small political-events toy graph.
+    g_.AddFact("obama", "win_election", "usa", 100);
+    g_.AddFact("obama", "president_of", "usa", 105);
+    g_.AddFact("obama", "make_statement", "usa", 110);
+    g_.AddFact("china", "host_visit", "saudi", 102);
+    g_.AddFact("china", "host_visit", "iran", 102);
+    g_.AddFact("saudi", "sign_agreement", "iran", 106);
+  }
+  TemporalKnowledgeGraph g_;
+};
+
+TEST_F(GraphFixture, UniverseSizes) {
+  EXPECT_EQ(g_.num_facts(), 6u);
+  EXPECT_EQ(g_.num_entities(), 5u);   // obama, usa, china, saudi, iran
+  EXPECT_EQ(g_.num_relations(), 5u);
+  EXPECT_EQ(g_.num_timestamps(), 5u); // 100,102,105,106,110
+  EXPECT_EQ(g_.min_time(), 100);
+  EXPECT_EQ(g_.max_time(), 110);
+  EXPECT_FALSE(g_.has_durations());
+}
+
+TEST_F(GraphFixture, FactsAtTimestamp) {
+  EXPECT_EQ(g_.FactsAt(102).size(), 2u);
+  EXPECT_EQ(g_.FactsAt(100).size(), 1u);
+  EXPECT_TRUE(g_.FactsAt(999).empty());
+}
+
+TEST_F(GraphFixture, PairInteractionSequenceSortedByTime) {
+  EntityId obama = *g_.entity_dict().TryGet("obama");
+  EntityId usa = *g_.entity_dict().TryGet("usa");
+  const auto* seq = g_.FactsForPair(obama, usa);
+  ASSERT_NE(seq, nullptr);
+  ASSERT_EQ(seq->size(), 3u);
+  Timestamp prev = kNoTimestamp;
+  for (FactId id : *seq) {
+    EXPECT_GE(g_.fact(id).time, prev);
+    prev = g_.fact(id).time;
+  }
+  // Reverse pair never interacted.
+  EXPECT_EQ(g_.FactsForPair(usa, obama), nullptr);
+}
+
+TEST_F(GraphFixture, SubjectAndObjectIndexes) {
+  EntityId china = *g_.entity_dict().TryGet("china");
+  EntityId iran = *g_.entity_dict().TryGet("iran");
+  ASSERT_NE(g_.FactsBySubject(china), nullptr);
+  EXPECT_EQ(g_.FactsBySubject(china)->size(), 2u);
+  ASSERT_NE(g_.FactsByObject(iran), nullptr);
+  EXPECT_EQ(g_.FactsByObject(iran)->size(), 2u);
+}
+
+TEST_F(GraphFixture, RelationTokensAreDirectional) {
+  EntityId obama = *g_.entity_dict().TryGet("obama");
+  EntityId usa = *g_.entity_dict().TryGet("usa");
+  RelationId win = *g_.relation_dict().TryGet("win_election");
+  EXPECT_TRUE(g_.RelationTokens(obama).count(OutRelationToken(win)));
+  EXPECT_FALSE(g_.RelationTokens(obama).count(InRelationToken(win)));
+  EXPECT_TRUE(g_.RelationTokens(usa).count(InRelationToken(win)));
+}
+
+TEST_F(GraphFixture, MembershipQueries) {
+  EntityId obama = *g_.entity_dict().TryGet("obama");
+  EntityId usa = *g_.entity_dict().TryGet("usa");
+  RelationId win = *g_.relation_dict().TryGet("win_election");
+  EXPECT_TRUE(g_.Contains(Fact(obama, win, usa, 100)));
+  EXPECT_FALSE(g_.Contains(Fact(obama, win, usa, 101)));
+  EXPECT_TRUE(g_.ContainsTriple(obama, win, usa));
+  EXPECT_EQ(g_.TripleCount(obama, win, usa), 1u);
+  EXPECT_EQ(g_.TripleCount(usa, win, obama), 0u);
+}
+
+TEST_F(GraphFixture, NamesRoundTrip) {
+  EntityId obama = *g_.entity_dict().TryGet("obama");
+  EXPECT_EQ(g_.EntityName(obama), "obama");
+  // Fallback names for ids beyond the dictionary.
+  EXPECT_EQ(g_.EntityName(900), "E900");
+  EXPECT_EQ(g_.RelationName(900), "R900");
+}
+
+TEST(GraphTest, OutOfOrderInsertKeepsPairSequenceSorted) {
+  TemporalKnowledgeGraph g;
+  g.AddFact("a", "r", "b", 50);
+  g.AddFact("a", "r2", "b", 10);
+  g.AddFact("a", "r3", "b", 30);
+  EntityId a = *g.entity_dict().TryGet("a");
+  EntityId b = *g.entity_dict().TryGet("b");
+  const auto* seq = g.FactsForPair(a, b);
+  ASSERT_EQ(seq->size(), 3u);
+  EXPECT_EQ(g.fact((*seq)[0]).time, 10);
+  EXPECT_EQ(g.fact((*seq)[1]).time, 30);
+  EXPECT_EQ(g.fact((*seq)[2]).time, 50);
+}
+
+TEST(GraphTest, DurationFactsDetected) {
+  TemporalKnowledgeGraph g;
+  g.AddFact("bill", "married_to", "melinda", 100, 400);
+  EXPECT_TRUE(g.has_durations());
+  EXPECT_EQ(g.fact(0).end, 400);
+}
+
+TEST(GraphTest, DuplicateFactsAllowedAndCounted) {
+  TemporalKnowledgeGraph g;
+  g.AddFact("a", "r", "b", 1);
+  g.AddFact("a", "r", "b", 1);
+  EXPECT_EQ(g.num_facts(), 2u);
+  EntityId a = *g.entity_dict().TryGet("a");
+  EntityId b = *g.entity_dict().TryGet("b");
+  RelationId r = *g.relation_dict().TryGet("r");
+  EXPECT_EQ(g.TripleCount(a, r, b), 2u);
+}
+
+// ---------------------------------------------------------------- Loader
+
+TEST(LoaderTest, ParseTimeIntegerAndIsoDate) {
+  EXPECT_EQ(TkgIo::ParseTime("12345").value(), 12345);
+  EXPECT_EQ(TkgIo::ParseTime("-7").value(), -7);
+  // 1970-01-01 is day 0; 1970-01-02 is day 1.
+  EXPECT_EQ(TkgIo::ParseTime("1970-01-01").value(), 0);
+  EXPECT_EQ(TkgIo::ParseTime("1970-01-02").value(), 1);
+  // A known anchor: 2000-03-01 is day 11017.
+  EXPECT_EQ(TkgIo::ParseTime("2000-03-01").value(), 11017);
+  EXPECT_FALSE(TkgIo::ParseTime("not-a-date").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("2020-13-01").ok());
+}
+
+TEST(LoaderTest, QuadrupleRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_quad.tsv").string();
+  TemporalKnowledgeGraph g;
+  g.AddFact("s1", "r1", "o1", 3);
+  g.AddFact("s2", "r1", "o2", 5);
+  ASSERT_TRUE(TkgIo::SaveTsv(g, path).ok());
+
+  auto loaded = TkgIo::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()->num_facts(), 2u);
+  EXPECT_EQ(loaded.value()->fact(0).time, 3);
+  EXPECT_FALSE(loaded.value()->has_durations());
+  std::filesystem::remove(path);
+}
+
+TEST(LoaderTest, QuintupleRoundTrip) {
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_quint.tsv").string();
+  TemporalKnowledgeGraph g;
+  g.AddFact("s1", "married_to", "o1", 3, 9);
+  ASSERT_TRUE(TkgIo::SaveTsv(g, path).ok());
+
+  auto loaded = TkgIo::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value()->has_durations());
+  EXPECT_EQ(loaded.value()->fact(0).end, 9);
+  std::filesystem::remove(path);
+}
+
+TEST(LoaderTest, RejectsBadArity) {
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_bad.tsv").string();
+  {
+    std::ofstream out(path);
+    out << "a\tb\tc\n";
+  }
+  EXPECT_FALSE(TkgIo::LoadTsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(LoaderTest, RejectsEndBeforeStart) {
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_rev.tsv").string();
+  {
+    std::ofstream out(path);
+    out << "a\tr\tb\t9\t3\n";
+  }
+  EXPECT_FALSE(TkgIo::LoadTsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+// ----------------------------------------------------------------- Split
+
+TEST(SplitTest, PartitionsByDistinctTimestamps) {
+  TemporalKnowledgeGraph g;
+  // Ten distinct timestamps, two facts each.
+  for (Timestamp t = 0; t < 10; ++t) {
+    g.AddFact("a" + std::to_string(t), "r", "b", t);
+    g.AddFact("c" + std::to_string(t), "r", "d", t);
+  }
+  TimeSplit split = SplitByTimestamps(g, 0.6, 0.1);
+  EXPECT_EQ(split.train.size(), 12u);  // 6 timestamps
+  EXPECT_EQ(split.val.size(), 2u);     // 1 timestamp
+  EXPECT_EQ(split.test.size(), 6u);    // 3 timestamps
+  EXPECT_EQ(split.train_end, 5);
+  EXPECT_EQ(split.val_end, 6);
+  // Every train fact precedes every test fact in time.
+  for (FactId tr : split.train) {
+    for (FactId te : split.test) {
+      EXPECT_LT(g.fact(tr).time, g.fact(te).time);
+    }
+  }
+}
+
+TEST(SplitTest, SubgraphPreservesSymbolsAndOrder) {
+  TemporalKnowledgeGraph g;
+  g.AddFact("x", "r", "y", 5);
+  g.AddFact("y", "r", "z", 2);
+  auto sub = Subgraph(g, {0, 1});
+  EXPECT_EQ(sub->num_facts(), 2u);
+  // Sorted by time inside the subgraph.
+  EXPECT_EQ(sub->fact(0).time, 2);
+  EXPECT_EQ(sub->fact(1).time, 5);
+  // Same symbol table: "x" has the same id.
+  EXPECT_EQ(*sub->entity_dict().TryGet("x"), *g.entity_dict().TryGet("x"));
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(StatsTest, ComputesTable1Columns) {
+  TemporalKnowledgeGraph g;
+  g.AddFact("a", "r1", "b", 0);
+  g.AddFact("a", "r1", "b", 1);
+  g.AddFact("c", "r2", "d", 1);
+  TkgStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_entities, 4u);
+  EXPECT_EQ(stats.num_relations, 2u);
+  EXPECT_EQ(stats.num_timestamps, 2u);
+  EXPECT_EQ(stats.num_facts, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_facts_per_timestamp, 1.5);
+  EXPECT_DOUBLE_EQ(stats.mean_pair_sequence_length, 1.5);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace anot
