@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/anot.h"
+#include "core/duration.h"
 #include "datagen/generator.h"
 #include "mdl/encoding.h"
 #include "mining/category_function.h"
@@ -110,19 +111,57 @@ void BM_MdlNegativeErrorBits(benchmark::State& state) {
 }
 BENCHMARK(BM_MdlNegativeErrorBits);
 
+// Offline rule-graph construction at 1/2/4 worker threads. The build is
+// bit-identical across thread counts, so the rows are directly comparable
+// speedup measurements; threaded rows verify that identity against a
+// 1-thread reference before timing (on the small world only — identity is
+// thread-count-dependent, not size-dependent) and fail the benchmark if
+// the outputs ever disagree.
 void BM_RuleGraphBuild(benchmark::State& state) {
   const size_t facts = static_cast<size_t>(state.range(0));
   SyntheticGenerator gen(BenchWorld(facts));
   auto graph = gen.Generate();
   AnoTOptions options;
   options.detector.timespan_tolerance = 10;
+  options.num_threads = static_cast<size_t>(state.range(1));
+  if (options.num_threads > 1 && facts <= 3000) {
+    AnoTOptions serial_options = options;
+    serial_options.num_threads = 1;
+    AnoT serial = AnoT::Build(*graph, serial_options);
+    AnoT parallel = AnoT::Build(*graph, options);
+    if (serial.rules().num_rules() != parallel.rules().num_rules() ||
+        serial.rules().num_edges() != parallel.rules().num_edges() ||
+        serial.report().total_bits() != parallel.report().total_bits()) {
+      state.SkipWithError(
+          "1-thread and N-thread builds disagree; timings are meaningless");
+      return;
+    }
+  }
   for (auto _ : state) {
     AnoT system = AnoT::Build(*graph, options);
     benchmark::DoNotOptimize(system.rules().num_edges());
   }
   state.SetItemsProcessed(state.iterations() * graph->num_facts());
 }
-BENCHMARK(BM_RuleGraphBuild)->Arg(3000)->Arg(12000);
+BENCHMARK(BM_RuleGraphBuild)
+    ->ArgsProduct({{3000, 12000}, {1, 2, 4}})
+    ->ArgNames({"facts", "threads"});
+
+// Four-view duration ensemble build (§4.7): views parallelize across the
+// pool on top of the sharded per-view pipeline.
+void BM_DurationFourViewBuild(benchmark::State& state) {
+  SyntheticGenerator gen(BenchWorld(3000));
+  auto graph = gen.Generate();
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    DurationAnoT system =
+        DurationAnoT::Build(*graph, options, DurationStrategy::kFourGraphs);
+    benchmark::DoNotOptimize(system.num_views());
+  }
+}
+BENCHMARK(BM_DurationFourViewBuild)->Arg(1)->Arg(4)->ArgName("threads");
 
 void BM_StaticAndTemporalScoring(benchmark::State& state) {
   const AnoT& system = SharedSystem();

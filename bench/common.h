@@ -2,9 +2,12 @@
 
 // Shared helpers for the experiment harnesses (one binary per paper
 // table/figure). Every harness prints the scale it ran at; set ANOT_SCALE
-// to trade fidelity for runtime (1.0 = paper-scale statistics).
+// to trade fidelity for runtime (1.0 = paper-scale statistics) and
+// ANOT_THREADS to pin the offline-build worker count (default: one per
+// hardware thread; results are bit-identical for every value).
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,10 +24,25 @@
 
 namespace anot::bench {
 
+/// Offline-build worker count: ANOT_THREADS when set (0 = auto), else one
+/// worker per hardware thread. Unparseable, negative, or absurd values
+/// (strtoul wraps "-1" to ULONG_MAX) fall back to auto instead of asking
+/// ThreadPool for billions of workers.
+inline size_t EnvThreads() {
+  const char* raw = std::getenv("ANOT_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  constexpr unsigned long kMaxThreads = 1024;
+  if (end == raw || *raw == '-' || value > kMaxThreads) return 0;
+  return static_cast<size_t>(value);
+}
+
 /// Per-dataset AnoT hyper-parameters (grid-search winners, §5.2: the
 /// timespan restriction L tracks each dataset's temporal footprint).
 inline AnoTOptions DefaultAnoTOptions(const std::string& dataset) {
   AnoTOptions options;
+  options.num_threads = EnvThreads();
   options.detector.category.max_categories_per_entity = 3;
   options.detector.category.min_support = 4;
   options.detector.max_recursion_steps = 2;

@@ -26,10 +26,10 @@ std::unique_ptr<TemporalKnowledgeGraph> CopyGraph(
 AnoT AnoT::Build(const TemporalKnowledgeGraph& offline,
                  const AnoTOptions& options) {
   AnoT anot;
-  anot.options_ = options;
+  anot.options_ = std::make_unique<AnoTOptions>(options);
   if (!options.detector.use_category_aggregation) {
     // Table 3 ablation: skip the aggregation passes entirely.
-    anot.options_.detector.category.max_aggregation_rounds = 0;
+    anot.options_->detector.category.max_aggregation_rounds = 0;
   }
   anot.graph_ = CopyGraph(offline);
   anot.Rebuild();
@@ -38,23 +38,24 @@ AnoT AnoT::Build(const TemporalKnowledgeGraph& offline,
 
 void AnoT::Rebuild() {
   categories_ = std::make_unique<CategoryFunction>(CategoryFunction::Build(
-      *graph_, options_.detector.category));
-  RuleGraphBuilder builder(*graph_, *categories_, options_.detector);
+      *graph_, options_->detector.category));
+  RuleGraphBuilder builder(*graph_, *categories_, options_->detector,
+                           options_->num_threads);
   auto built = builder.Build();
   rules_ = std::move(built.rule_graph);
   report_ = built.report;
 
   scorer_ = std::make_unique<Scorer>(graph_.get(), categories_.get(),
-                                     rules_.get(), &options_.detector);
+                                     rules_.get(), &options_->detector);
   updater_ = std::make_unique<Updater>(graph_.get(), categories_.get(),
-                                       rules_.get(), &options_.detector,
-                                       options_.updater);
+                                       rules_.get(), &options_->detector,
+                                       options_->updater);
   const double e = std::max<double>(2.0, graph_->num_entities());
   const double r = std::max<double>(1.0, graph_->num_relations());
   monitor_ = std::make_unique<Monitor>(report_.negative_bits,
                                        report_.num_train_timestamps,
                                        std::max(e * e * r, 4.0), e,
-                                       options_.monitor);
+                                       options_->monitor);
 }
 
 Scores AnoT::Score(const Fact& fact) const { return scorer_->Score(fact); }
@@ -80,10 +81,10 @@ Scores AnoT::ProcessArrival(const Fact& fact) {
   const bool valid = scores.static_score <= static_threshold_ &&
                      (!scores.temporal_evaluated ||
                       scores.temporal_score <= temporal_threshold_);
-  if (valid && options_.enable_updater) {
+  if (valid && options_->enable_updater) {
     updater_->Ingest(fact);
   }
-  if (options_.auto_refresh && monitor_->ShouldRefresh()) {
+  if (options_->auto_refresh && monitor_->ShouldRefresh()) {
     Refresh();
   }
   return scores;

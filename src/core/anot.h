@@ -24,6 +24,10 @@ struct AnoTOptions {
   /// When true, Refresh() runs automatically once the monitor fires.
   /// (The paper disables refresh during evaluation for fairness, §5.2.)
   bool auto_refresh = false;
+  /// Worker threads for the offline construction pipeline (candidate
+  /// generation, candidate costing, duration views). 0 = one worker per
+  /// hardware thread. The built model is bit-identical for every value.
+  size_t num_threads = 0;
 };
 
 /// \brief The AnoT detector-updater-monitor system (Figure 2).
@@ -72,14 +76,20 @@ class AnoT {
   const BuildReport& report() const { return report_; }
   const Monitor& monitor() const { return *monitor_; }
   Explainer MakeExplainer() const;
-  const AnoTOptions& options() const { return options_; }
+  const AnoTOptions& options() const { return *options_; }
   size_t refresh_count() const { return refresh_count_; }
 
  private:
   AnoT() = default;
   void Rebuild();
 
-  AnoTOptions options_;
+  /// Heap-allocated so its address survives moves of the AnoT object:
+  /// Scorer and Updater capture a pointer to options_->detector, and
+  /// Build() returns by value — with an inline member that pointer would
+  /// dangle into the moved-from temporary (a latent UB bug that made
+  /// scoring read clobbered stack memory after `AnoT x = AnoT::Build(...)`
+  /// was moved again, e.g. into std::optional).
+  std::unique_ptr<AnoTOptions> options_;
   std::unique_ptr<TemporalKnowledgeGraph> graph_;
   std::unique_ptr<CategoryFunction> categories_;
   std::unique_ptr<RuleGraph> rules_;

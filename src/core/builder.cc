@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace anot {
@@ -44,8 +46,12 @@ CategoryOccurrences CountCategoryOccurrences(
 
 RuleGraphBuilder::RuleGraphBuilder(const TemporalKnowledgeGraph& graph,
                                    const CategoryFunction& categories,
-                                   const DetectorOptions& options)
-    : graph_(graph), categories_(categories), options_(options) {}
+                                   const DetectorOptions& options,
+                                   size_t num_threads)
+    : graph_(graph),
+      categories_(categories),
+      options_(options),
+      num_threads_(ResolveNumThreads(num_threads)) {}
 
 RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
   WallTimer timer;
@@ -54,8 +60,12 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
   BuildReport& report = out.report;
   report.num_categories = categories_.num_categories();
 
-  CandidateGenerator generator(graph_, categories_, options_);
-  CandidatePool pool = generator.Generate();
+  // One worker pool serves candidate generation and candidate costing.
+  std::unique_ptr<ThreadPool> workers;
+  if (num_threads_ > 1) workers = std::make_unique<ThreadPool>(num_threads_);
+
+  CandidateGenerator generator(graph_, categories_, options_, num_threads_);
+  CandidatePool pool = generator.Generate(workers.get());
   report.num_candidate_rules = pool.rules.size();
   report.num_candidate_edges = pool.edges.size();
 
@@ -72,24 +82,37 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
   std::vector<double> relation_counts(graph_.num_relations(), 0.0);
   for (const Fact& f : graph_.facts()) relation_counts[f.relation] += 1.0;
 
-  for (RuleCandidate& c : pool.rules) {
-    const double n_cs = c.rule.subject_category < occ.subject.size()
-                            ? occ.subject[c.rule.subject_category]
-                            : 0.0;
-    const double n_co = c.rule.object_category < occ.object.size()
-                            ? occ.object[c.rule.object_category]
-                            : 0.0;
-    c.model_bits = AtomicRuleBits(universe, n_cs, occ.subject_total, n_co,
-                                  occ.object_total,
-                                  relation_counts[c.rule.relation]);
-    c.assertion_bits =
-        c.subject_entropy.TotalBits() + c.object_entropy.TotalBits();
-  }
-  for (EdgeCandidate& e : pool.edges) {
-    e.model_bits =
-        RuleEdgeBits(universe, e.kind == RuleEdgeKind::kTriadic);
-    e.assertion_bits = e.timespan_entropy.TotalBits();
-  }
+  // Candidate costs are independent per candidate (each task writes only
+  // its own slots), so the fill parallelizes without affecting the result.
+  ParallelForShards(workers.get(), pool.rules.size(),
+                    DeterministicShardCount(pool.rules.size()),
+                    [&](size_t /*shard*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      RuleCandidate& c = pool.rules[i];
+      const double n_cs = c.rule.subject_category < occ.subject.size()
+                              ? occ.subject[c.rule.subject_category]
+                              : 0.0;
+      const double n_co = c.rule.object_category < occ.object.size()
+                              ? occ.object[c.rule.object_category]
+                              : 0.0;
+      c.model_bits = AtomicRuleBits(universe, n_cs, occ.subject_total, n_co,
+                                    occ.object_total,
+                                    relation_counts[c.rule.relation]);
+      c.assertion_bits =
+          c.subject_entropy.TotalBits() + c.object_entropy.TotalBits();
+    }
+  });
+  ParallelForShards(workers.get(), pool.edges.size(),
+                    DeterministicShardCount(pool.edges.size()),
+                    [&](size_t /*shard*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      EdgeCandidate& e = pool.edges[i];
+      e.model_bits =
+          RuleEdgeBits(universe, e.kind == RuleEdgeKind::kTriadic);
+      e.assertion_bits = e.timespan_entropy.TotalBits();
+    }
+  });
+  workers.reset();
 
   // ---- Negative-error ledger ----------------------------------------------
   const double tier1 = universe.num_entities * universe.num_entities *

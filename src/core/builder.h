@@ -43,9 +43,13 @@ struct BuildReport {
 /// by edges are added as temporal-only nodes (§4.3.3).
 class RuleGraphBuilder {
  public:
+  /// `num_threads` parallelizes candidate generation and per-candidate
+  /// cost computation (0 = hardware concurrency); the greedy selection
+  /// passes are inherently sequential. Output is bit-identical for every
+  /// thread count.
   RuleGraphBuilder(const TemporalKnowledgeGraph& graph,
                    const CategoryFunction& categories,
-                   const DetectorOptions& options);
+                   const DetectorOptions& options, size_t num_threads = 1);
 
   struct Output {
     std::unique_ptr<RuleGraph> rule_graph;
@@ -59,6 +63,7 @@ class RuleGraphBuilder {
   const TemporalKnowledgeGraph& graph_;
   const CategoryFunction& categories_;
   const DetectorOptions& options_;
+  size_t num_threads_ = 1;
 };
 
 }  // namespace anot

@@ -8,6 +8,7 @@
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/thread_pool.h"
 
 namespace anot {
 
@@ -65,25 +66,39 @@ struct CandidatePool {
 /// on some fact. Chain edges: ordered relation pairs within each entity
 /// pair's interaction sequence (bounded lookback). Triadic edges: closures
 /// (s,r_m,p), (h,r_n,p) co-occurring within L followed by (s,r_p,h).
+///
+/// Parallelism: each generation phase partitions its scan domain (facts or
+/// pair sequences) into shards whose boundaries depend only on the data
+/// size. Shards accumulate into private pools — reading the global pool of
+/// the previous phases, which stays frozen during the scan — and are then
+/// merged in shard-index order. First-occurrence order over the shard
+/// concatenation equals the sequential scan order and all entropy costs
+/// are canonical in the symbol multiset, so the resulting pool is
+/// bit-identical for every thread count (including 1).
 class CandidateGenerator {
  public:
   CandidateGenerator(const TemporalKnowledgeGraph& graph,
                      const CategoryFunction& categories,
-                     const DetectorOptions& options);
+                     const DetectorOptions& options,
+                     size_t num_threads = 1);
 
   /// Runs generation. Edges beyond options.max_candidate_edges are dropped
   /// lowest-support-first (deterministically).
   CandidatePool Generate() const;
 
+  /// Same, on a caller-owned pool (nullptr = serial). Lets the builder
+  /// reuse one worker pool across generation and candidate costing.
+  CandidatePool Generate(ThreadPool* workers) const;
+
  private:
-  void GenerateRules(CandidatePool* pool) const;
-  void GenerateChainEdges(CandidatePool* pool) const;
-  void GenerateTriadicEdges(CandidatePool* pool) const;
-  uint32_t EnsureRule(CandidatePool* pool, const AtomicRule& rule) const;
+  void GenerateRules(CandidatePool* pool, ThreadPool* workers) const;
+  void GenerateChainEdges(CandidatePool* pool, ThreadPool* workers) const;
+  void GenerateTriadicEdges(CandidatePool* pool, ThreadPool* workers) const;
 
   const TemporalKnowledgeGraph& graph_;
   const CategoryFunction& categories_;
   const DetectorOptions& options_;
+  size_t num_threads_ = 1;
 };
 
 }  // namespace anot

@@ -1,6 +1,9 @@
 #include "core/duration.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace anot {
 
@@ -51,39 +54,62 @@ DurationAnoT DurationAnoT::Build(const TemporalKnowledgeGraph& offline,
     TimeAnchor head;
     TimeAnchor tail;
   };
+  // push_back instead of initializer-list assignment: GCC 12's -Wnonnull
+  // fires a false positive on the latter (memmove into a still-null
+  // buffer it has proven is never reached), and the tree builds -Werror.
   std::vector<ViewSpec> specs;
+  specs.reserve(4);
   switch (strategy) {
     case DurationStrategy::kFourGraphs:
-      specs = {{"ST-ST", TimeAnchor::kStart, TimeAnchor::kStart},
-               {"ED-ED", TimeAnchor::kEnd, TimeAnchor::kEnd},
-               {"ST-ED", TimeAnchor::kStart, TimeAnchor::kEnd},
-               {"ED-ST", TimeAnchor::kEnd, TimeAnchor::kStart}};
+      specs.push_back({"ST-ST", TimeAnchor::kStart, TimeAnchor::kStart});
+      specs.push_back({"ED-ED", TimeAnchor::kEnd, TimeAnchor::kEnd});
+      specs.push_back({"ST-ED", TimeAnchor::kStart, TimeAnchor::kEnd});
+      specs.push_back({"ED-ST", TimeAnchor::kEnd, TimeAnchor::kStart});
       break;
     case DurationStrategy::kStartOnly:
-      specs = {{"ST-ST", TimeAnchor::kStart, TimeAnchor::kStart}};
+      specs.push_back({"ST-ST", TimeAnchor::kStart, TimeAnchor::kStart});
       break;
     case DurationStrategy::kEndOnly:
-      specs = {{"ED-ED", TimeAnchor::kEnd, TimeAnchor::kEnd}};
+      specs.push_back({"ED-ED", TimeAnchor::kEnd, TimeAnchor::kEnd});
       break;
     case DurationStrategy::kAverage:
-      specs = {{"MID", TimeAnchor::kStart, TimeAnchor::kStart}};
+      specs.push_back({"MID", TimeAnchor::kStart, TimeAnchor::kStart});
       break;
   }
 
-  for (const ViewSpec& spec : specs) {
+  // The four anchor views are independent builds over the same offline
+  // graph, so they are the coarsest (and cheapest) parallelism available.
+  // Each view's own build is deterministic for any thread count and the
+  // slots are filled by index, so the ensemble is too.
+  const size_t threads = ResolveNumThreads(options.num_threads);
+  out.views_.resize(specs.size());
+  auto build_view = [&](size_t i, size_t inner_threads) {
+    const ViewSpec& spec = specs[i];
     AnoTOptions view_options = options;
+    view_options.num_threads = inner_threads;
     view_options.detector.head_anchor = spec.head;
     view_options.detector.tail_anchor = spec.tail;
     if (strategy == DurationStrategy::kAverage) {
       auto mid_graph = MidpointGraph(offline);
-      out.views_.push_back(
-          std::make_unique<AnoT>(AnoT::Build(*mid_graph, view_options)));
+      out.views_[i] =
+          std::make_unique<AnoT>(AnoT::Build(*mid_graph, view_options));
     } else {
-      out.views_.push_back(
-          std::make_unique<AnoT>(AnoT::Build(offline, view_options)));
+      out.views_[i] =
+          std::make_unique<AnoT>(AnoT::Build(offline, view_options));
     }
-    out.view_names_.emplace_back(spec.name);
+  };
+  if (threads > 1 && specs.size() > 1) {
+    // Split the budget across views instead of nesting full-size pools.
+    const size_t inner = std::max<size_t>(1, threads / specs.size());
+    ThreadPool pool(std::min(threads, specs.size()));
+    for (size_t i = 0; i < specs.size(); ++i) {
+      pool.Submit([&build_view, i, inner] { build_view(i, inner); });
+    }
+    pool.Wait();
+  } else {
+    for (size_t i = 0; i < specs.size(); ++i) build_view(i, threads);
   }
+  for (const ViewSpec& spec : specs) out.view_names_.emplace_back(spec.name);
   return out;
 }
 

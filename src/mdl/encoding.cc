@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace anot {
 
@@ -62,7 +63,15 @@ void EntropyAccumulator::Add(uint64_t symbol) {
   ++count;
   sum_clog2c_ += static_cast<double>(count) *
                  std::log2(static_cast<double>(count));
+  events_.push_back(symbol);
   ++total_;
+}
+
+void EntropyAccumulator::Merge(const EntropyAccumulator& other) {
+  // Replaying the events (instead of folding the count table) keeps the
+  // incremental FP sum bitwise equal to a single sequential Add stream.
+  events_.reserve(events_.size() + other.events_.size());
+  for (uint64_t symbol : other.events_) Add(symbol);
 }
 
 double EntropyAccumulator::TotalBits() const {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "util/math_util.h"
 
@@ -57,9 +58,20 @@ double NegativeErrorBitsAt(double tier1_universe, double tier2_universe,
 /// For a rule's assertion set, the total subject-side cost is
 ///   sum_s n_s * (-log2(n_s / |A|)) = |A| log2 |A| - sum_s n_s log2 n_s,
 /// maintained incrementally as assertions are added.
+///
+/// The floating-point value of the incremental sum depends on the Add
+/// order, so sharded parallel candidate generation records each shard's
+/// symbol sequence and Merge() *replays* it. Merging shard accumulators in
+/// shard-index order therefore reproduces the sequential scan's
+/// accumulation bit for bit, which is what makes N-thread builds
+/// byte-identical to 1-thread builds.
 class EntropyAccumulator {
  public:
   void Add(uint64_t symbol);
+
+  /// Replays the other accumulator's Add sequence into this one. The
+  /// result is bitwise equal to having issued the same Adds here directly.
+  void Merge(const EntropyAccumulator& other);
 
   /// Total bits = n log2 n - sum_c c log2 c.
   double TotalBits() const;
@@ -67,6 +79,9 @@ class EntropyAccumulator {
 
  private:
   std::unordered_map<uint64_t, uint64_t> counts_;
+  /// Symbols in Add order (replay log for Merge); one entry per Add — the
+  /// same footprint as the assertion list the caller already keeps.
+  std::vector<uint64_t> events_;
   double sum_clog2c_ = 0.0;
   uint64_t total_ = 0;
 };

@@ -1,18 +1,31 @@
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace anot {
 
-/// \brief Fixed-size worker pool used by the experiment driver to run
-/// independent (dataset, model) configurations in parallel.
+/// \brief Fixed-size worker pool for the offline construction pipeline and
+/// the experiment driver.
 ///
-/// Tasks are plain std::function<void()>; the pool joins on destruction.
+/// Tasks are plain std::function<void()>; the pool joins on destruction,
+/// draining any still-queued tasks first. A task that throws does not kill
+/// the worker: the first exception is captured and rethrown by the next
+/// Wait() call, so ANOT_CHECK failures inside parallel sections surface on
+/// the submitting thread instead of terminating the process silently.
+/// An exception still pending at destruction (no final Wait()) cannot be
+/// rethrown from the destructor; it is logged and dropped — call Wait()
+/// before destroying the pool if task failures must be observed.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads) {
@@ -30,10 +43,23 @@ class ThreadPool {
     }
     cv_.notify_all();
     for (auto& t : workers_) t.join();
+    if (error_) {
+      try {
+        std::rethrow_exception(error_);
+      } catch (const std::exception& e) {
+        ANOT_LOG(Error) << "ThreadPool destroyed with unobserved task "
+                           "exception: " << e.what();
+      } catch (...) {
+        ANOT_LOG(Error)
+            << "ThreadPool destroyed with unobserved task exception";
+      }
+    }
   }
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
 
   /// Enqueue a task; never blocks.
   void Submit(std::function<void()> task) {
@@ -45,10 +71,16 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception thrown by a task since the previous Wait(), if any.
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      std::swap(error, error_);
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -62,9 +94,15 @@ class ThreadPool {
         task = std::move(tasks_.front());
         tasks_.pop();
       }
-      task();
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
+        if (error && !error_) error_ = std::move(error);
         --pending_;
         if (pending_ == 0) done_cv_.notify_all();
       }
@@ -76,8 +114,54 @@ class ThreadPool {
   std::condition_variable done_cv_;
   std::queue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
+  std::exception_ptr error_;
   size_t pending_ = 0;
   bool stop_ = false;
 };
+
+/// Maps the AnoTOptions::num_threads convention (0 = auto) to a concrete
+/// worker count; never returns 0.
+inline size_t ResolveNumThreads(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// Number of deterministic shards for `n` work items. Depends only on the
+/// data size — never on the thread count — so a 1-thread and an N-thread
+/// run partition (and therefore merge) identically.
+inline size_t DeterministicShardCount(size_t n) {
+  constexpr size_t kMaxShards = 32;
+  constexpr size_t kMinPerShard = 256;
+  if (n == 0) return 1;
+  const size_t by_work = (n + kMinPerShard - 1) / kMinPerShard;
+  return std::min(kMaxShards, std::max<size_t>(1, by_work));
+}
+
+/// Runs fn(shard, begin, end) over `num_shards` contiguous ranges of
+/// [0, n). With a pool the shards run concurrently (call order is
+/// unspecified); without one they run serially in shard order. Callers
+/// needing deterministic output must make shards independent and merge
+/// their results in shard-index order after this returns.
+template <typename Fn>
+void ParallelForShards(ThreadPool* pool, size_t n, size_t num_shards,
+                       Fn&& fn) {
+  if (num_shards == 0) num_shards = 1;
+  const size_t per_shard = (n + num_shards - 1) / num_shards;
+  if (pool == nullptr || num_shards == 1 || pool->num_threads() <= 1) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t begin = std::min(n, s * per_shard);
+      const size_t end = std::min(n, begin + per_shard);
+      fn(s, begin, end);
+    }
+    return;
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t begin = std::min(n, s * per_shard);
+    const size_t end = std::min(n, begin + per_shard);
+    pool->Submit([&fn, s, begin, end] { fn(s, begin, end); });
+  }
+  pool->Wait();
+}
 
 }  // namespace anot

@@ -166,6 +166,95 @@ TEST_F(CoreFixture, DeterministicBuild) {
                    anot_->report().negative_bits);
 }
 
+// ------------------------------------------- parallel build determinism
+//
+// The parallel offline pipeline guarantees bit-identical output for every
+// thread count (deterministic sharding + ordered merges + entropy replay).
+// These tests pin that contract on the datagen test world. EXPECT_EQ on
+// doubles is deliberate: byte-identity, not tolerance.
+
+void ExpectPoolsIdentical(const CandidatePool& a, const CandidatePool& b) {
+  ASSERT_EQ(a.rules.size(), b.rules.size());
+  for (size_t i = 0; i < a.rules.size(); ++i) {
+    const RuleCandidate& ra = a.rules[i];
+    const RuleCandidate& rb = b.rules[i];
+    ASSERT_TRUE(ra.rule == rb.rule) << "rule " << i;
+    ASSERT_EQ(ra.assertions, rb.assertions) << "rule " << i;
+    ASSERT_EQ(ra.subject_entropy.TotalBits(), rb.subject_entropy.TotalBits())
+        << "rule " << i;
+    ASSERT_EQ(ra.object_entropy.TotalBits(), rb.object_entropy.TotalBits())
+        << "rule " << i;
+  }
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (size_t i = 0; i < a.edges.size(); ++i) {
+    const EdgeCandidate& ea = a.edges[i];
+    const EdgeCandidate& eb = b.edges[i];
+    ASSERT_EQ(ea.kind, eb.kind) << "edge " << i;
+    ASSERT_EQ(ea.head, eb.head) << "edge " << i;
+    ASSERT_EQ(ea.mid, eb.mid) << "edge " << i;
+    ASSERT_EQ(ea.tail, eb.tail) << "edge " << i;
+    ASSERT_EQ(ea.tail_facts, eb.tail_facts) << "edge " << i;
+    ASSERT_EQ(ea.timespans, eb.timespans) << "edge " << i;
+    ASSERT_EQ(ea.timespan_entropy.TotalBits(),
+              eb.timespan_entropy.TotalBits())
+        << "edge " << i;
+  }
+}
+
+void ExpectRuleGraphsIdentical(const RuleGraph& a, const RuleGraph& b) {
+  ASSERT_EQ(a.num_rules(), b.num_rules());
+  ASSERT_EQ(a.num_static_rules(), b.num_static_rules());
+  for (RuleId r = 0; r < a.num_rules(); ++r) {
+    ASSERT_TRUE(a.rule(r) == b.rule(r)) << "rule " << r;
+    ASSERT_EQ(a.support(r), b.support(r)) << "rule " << r;
+    ASSERT_EQ(a.static_selected(r), b.static_selected(r)) << "rule " << r;
+    ASSERT_EQ(a.recurrent(r), b.recurrent(r)) << "rule " << r;
+  }
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (RuleEdgeId e = 0; e < a.num_edges(); ++e) {
+    const RuleEdge& ea = a.edge(e);
+    const RuleEdge& eb = b.edge(e);
+    ASSERT_EQ(ea.kind, eb.kind) << "edge " << e;
+    ASSERT_EQ(ea.head, eb.head) << "edge " << e;
+    ASSERT_EQ(ea.mid, eb.mid) << "edge " << e;
+    ASSERT_EQ(ea.tail, eb.tail) << "edge " << e;
+    ASSERT_EQ(ea.support, eb.support) << "edge " << e;
+    ASSERT_EQ(ea.timespans, eb.timespans) << "edge " << e;
+  }
+}
+
+TEST_F(CoreFixture, CandidatePoolIdenticalAcrossThreadCounts) {
+  auto categories =
+      CategoryFunction::Build(*train_, TestDetectorOptions().category);
+  DetectorOptions opts = TestDetectorOptions();
+  CandidatePool serial =
+      CandidateGenerator(*train_, categories, opts, /*num_threads=*/1)
+          .Generate();
+  CandidatePool parallel =
+      CandidateGenerator(*train_, categories, opts, /*num_threads=*/8)
+          .Generate();
+  ExpectPoolsIdentical(serial, parallel);
+}
+
+TEST_F(CoreFixture, RuleGraphIdenticalAcrossThreadCounts) {
+  AnoTOptions options;
+  options.detector = TestDetectorOptions();
+  options.num_threads = 1;
+  AnoT serial = AnoT::Build(*train_, options);
+  options.num_threads = 8;
+  AnoT parallel = AnoT::Build(*train_, options);
+
+  ExpectRuleGraphsIdentical(serial.rules(), parallel.rules());
+  EXPECT_EQ(serial.report().model_bits, parallel.report().model_bits);
+  EXPECT_EQ(serial.report().assertion_bits,
+            parallel.report().assertion_bits);
+  EXPECT_EQ(serial.report().negative_bits, parallel.report().negative_bits);
+  EXPECT_EQ(serial.report().explained_fraction,
+            parallel.report().explained_fraction);
+  EXPECT_EQ(serial.report().associated_fraction,
+            parallel.report().associated_fraction);
+}
+
 // ---------------------------------------------------------------- Scoring
 
 TEST_F(CoreFixture, ValidFactsScoreLowerThanConceptualAnomalies) {
@@ -551,6 +640,44 @@ TEST(DurationTest, StrategyNamesAreStable) {
                "four-graphs");
   EXPECT_STREQ(DurationStrategyName(DurationStrategy::kAverage),
                "midpoint-average");
+}
+
+TEST(DurationTest, ScoresIdenticalAcrossThreadCounts) {
+  GeneratorConfig cfg = TestWorldConfig();
+  cfg.num_facts = 3000;
+  cfg.durations = true;
+  cfg.mean_duration = 20.0;
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+  TimeSplit split = SplitByTimestamps(*graph, 0.6, 0.1);
+  auto train = Subgraph(*graph, split.train);
+
+  AnoTOptions options;
+  options.detector = TestDetectorOptions();
+  options.num_threads = 1;
+  DurationAnoT serial = DurationAnoT::Build(*train, options);
+  options.num_threads = 8;
+  DurationAnoT parallel = DurationAnoT::Build(*train, options);
+
+  ASSERT_EQ(serial.num_views(), parallel.num_views());
+  for (size_t v = 0; v < serial.num_views(); ++v) {
+    EXPECT_EQ(serial.view_name(v), parallel.view_name(v));
+    ExpectRuleGraphsIdentical(serial.view(v).rules(),
+                              parallel.view(v).rules());
+  }
+  const size_t count = std::min<size_t>(100, split.test.size());
+  for (size_t i = 0; i < count; ++i) {
+    const Fact& f = graph->fact(split.test[i]);
+    const Scores a = serial.Score(f);
+    const Scores b = parallel.Score(f);
+    ASSERT_EQ(a.static_score, b.static_score) << "fact " << i;
+    ASSERT_EQ(a.temporal_score, b.temporal_score) << "fact " << i;
+    ASSERT_EQ(a.static_support, b.static_support) << "fact " << i;
+    ASSERT_EQ(a.temporal_support, b.temporal_support) << "fact " << i;
+    ASSERT_EQ(a.out_violations, b.out_violations) << "fact " << i;
+    ASSERT_EQ(a.temporal_evaluated, b.temporal_evaluated) << "fact " << i;
+    ASSERT_EQ(a.associated, b.associated) << "fact " << i;
+  }
 }
 
 }  // namespace

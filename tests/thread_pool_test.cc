@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace anot {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 250; ++i) {
+        pool.Submit([&counter] { ++counter; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8 * 250);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    // No Wait(): destruction must still run every queued task.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, TaskExceptionDoesNotDeadlockAndRethrowsOnWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 20);
+
+  // The pool stays usable and a clean Wait() no longer throws.
+  pool.Submit([&counter] { ++counter; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPoolTest, WaitWithNothingPendingReturnsImmediately) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  EXPECT_EQ(ResolveNumThreads(3), 3u);
+}
+
+TEST(DeterministicShardCountTest, DependsOnlyOnDataSize) {
+  EXPECT_EQ(DeterministicShardCount(0), 1u);
+  EXPECT_EQ(DeterministicShardCount(1), 1u);
+  EXPECT_EQ(DeterministicShardCount(256), 1u);
+  EXPECT_EQ(DeterministicShardCount(257), 2u);
+  EXPECT_EQ(DeterministicShardCount(1u << 20), 32u);
+}
+
+TEST(ParallelForShardsTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+    const size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    ParallelForShards(pool.get(), n, 7,
+                      [&hits](size_t /*shard*/, size_t begin, size_t end) {
+                        for (size_t i = begin; i < end; ++i) ++hits[i];
+                      });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForShardsTest, SerialFallbackRunsShardsInOrder) {
+  std::vector<size_t> shard_order;
+  ParallelForShards(nullptr, 100, 5,
+                    [&shard_order](size_t shard, size_t, size_t) {
+                      shard_order.push_back(shard);
+                    });
+  ASSERT_EQ(shard_order.size(), 5u);
+  for (size_t s = 0; s < 5; ++s) EXPECT_EQ(shard_order[s], s);
+}
+
+TEST(ParallelForShardsTest, EmptyRangeStillInvokesNothingHarmful) {
+  ThreadPool pool(2);
+  std::atomic<size_t> visited{0};
+  ParallelForShards(&pool, 0, 4,
+                    [&visited](size_t, size_t begin, size_t end) {
+                      visited += end - begin;
+                    });
+  EXPECT_EQ(visited.load(), 0u);
+}
+
+}  // namespace
+}  // namespace anot
