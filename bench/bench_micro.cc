@@ -163,6 +163,90 @@ void BM_DurationFourViewBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DurationFourViewBuild)->Arg(1)->Arg(4)->ArgName("threads");
 
+// Batched const scoring on the serving pool at 1/2/4 threads. Scores are
+// bit-identical to scalar Score for every thread count (pinned by
+// online_test), so rows are directly comparable speedup measurements.
+void BM_ScoreBatch(benchmark::State& state) {
+  TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);
+  auto train = Subgraph(SharedGraph(), split.train);
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  AnoT system = AnoT::Build(*train, options);
+
+  const size_t batch_size = static_cast<size_t>(state.range(1));
+  std::vector<Fact> batch(batch_size);
+  size_t next = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch[i] = SharedGraph().fact(split.test[next++ % split.test.size()]);
+    }
+    std::vector<Scores> scores = system.ScoreBatch(batch);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_ScoreBatch)
+    ->ArgsProduct({{1, 2, 4}, {16, 64}})
+    ->ArgNames({"threads", "batch"});
+
+// Full batched online step: speculative parallel scoring + ordered commit
+// + threshold-gated ingest. Threaded rows verify score equivalence against
+// the sequential ProcessArrival loop on a slice before timing and fail the
+// benchmark if the paths ever disagree.
+void BM_ProcessArrivalBatch(benchmark::State& state) {
+  TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);
+  auto train = Subgraph(SharedGraph(), split.train);
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  const size_t batch_size = static_cast<size_t>(state.range(1));
+
+  if (options.num_threads > 1) {
+    const size_t slice = std::min<size_t>(256, split.test.size());
+    AnoTOptions serial_options = options;
+    serial_options.num_threads = 1;
+    AnoT serial = AnoT::Build(*train, serial_options);
+    AnoT parallel = AnoT::Build(*train, options);
+    std::vector<Fact> facts;
+    for (size_t i = 0; i < slice; ++i) {
+      facts.push_back(SharedGraph().fact(split.test[i]));
+    }
+    std::vector<Scores> sequential_scores;
+    for (const Fact& f : facts) {
+      sequential_scores.push_back(serial.ProcessArrival(f));
+    }
+    const std::vector<Scores> batched_scores =
+        parallel.ProcessArrivalBatch(facts);
+    for (size_t i = 0; i < slice; ++i) {
+      if (sequential_scores[i].static_score !=
+              batched_scores[i].static_score ||
+          sequential_scores[i].temporal_score !=
+              batched_scores[i].temporal_score) {
+        state.SkipWithError(
+            "sequential and batched arrival paths disagree; timings are "
+            "meaningless");
+        return;
+      }
+    }
+  }
+
+  AnoT system = AnoT::Build(*train, options);
+  std::vector<Fact> batch(batch_size);
+  size_t next = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch[i] = SharedGraph().fact(split.test[next++ % split.test.size()]);
+    }
+    std::vector<Scores> scores = system.ProcessArrivalBatch(batch);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_ProcessArrivalBatch)
+    ->ArgsProduct({{1, 4}, {64}})
+    ->ArgNames({"threads", "batch"});
+
 void BM_StaticAndTemporalScoring(benchmark::State& state) {
   const AnoT& system = SharedSystem();
   const auto& facts = SharedGraph().facts();

@@ -24,8 +24,9 @@
 
 namespace anot::bench {
 
-/// Offline-build worker count: ANOT_THREADS when set (0 = auto), else one
-/// worker per hardware thread. Unparseable, negative, or absurd values
+/// Worker count for the offline build and the batched serving pool:
+/// ANOT_THREADS when set (0 = auto), else one worker per hardware
+/// thread. Unparseable, negative, or absurd values
 /// (strtoul wraps "-1" to ULONG_MAX) fall back to auto instead of asking
 /// ThreadPool for billions of workers.
 inline size_t EnvThreads() {

@@ -10,8 +10,14 @@ using namespace anot::bench;
 
 namespace {
 
+/// Stream scoring micro-batch cap (same knob RunProtocol defaults to);
+/// the series is bit-identical to the per-fact loop for every value.
+constexpr size_t kScoreBatch = 64;
+
 /// Scores the test stream bucketed into `buckets` timestamp groups and
 /// returns the per-bucket conceptual F0.5 (threshold tuned on validation).
+/// Both windows flow through the protocol's batched scoring path, with
+/// the observe-valid feedback as the batch boundary.
 std::vector<double> FScoreSeries(const Workload& w, bool with_updater,
                                  size_t buckets) {
   AnoTOptions options = DefaultAnoTOptions(w.config.name);
@@ -23,11 +29,12 @@ std::vector<double> FScoreSeries(const Workload& w, bool with_updater,
   AnomalyInjector val_inj(InjectorConfig{.seed = 99});
   EvalStream val = val_inj.Inject(*w.graph, w.split.val);
   std::vector<ScoredExample> val_examples;
-  for (const auto& lf : val.arrivals) {
-    val_examples.push_back({model.Score(lf.fact).conceptual,
-                            lf.label == AnomalyType::kConceptual});
-    if (lf.label == AnomalyType::kValid) model.ObserveValid(lf.fact);
-  }
+  ForEachScoredArrival(
+      val.arrivals, &model, /*observe_valid=*/true, kScoreBatch,
+      [&](size_t i, const AnomalyModel::TaskScores& s) {
+        val_examples.push_back(
+            {s.conceptual, val.arrivals[i].label == AnomalyType::kConceptual});
+      });
   const double threshold = TuneThreshold(val_examples, 0.5).threshold;
 
   AnomalyInjector test_inj(InjectorConfig{});
@@ -38,14 +45,16 @@ std::vector<double> FScoreSeries(const Workload& w, bool with_updater,
       std::max<double>(1.0, static_cast<double>(t1 - t0 + 1) /
                                 static_cast<double>(buckets));
   std::vector<std::vector<ScoredExample>> bucketed(buckets);
-  for (const auto& lf : test.arrivals) {
-    const size_t b = std::min<size_t>(
-        buckets - 1,
-        static_cast<size_t>(static_cast<double>(lf.fact.time - t0) / width));
-    bucketed[b].push_back({model.Score(lf.fact).conceptual,
-                           lf.label == AnomalyType::kConceptual});
-    if (lf.label == AnomalyType::kValid) model.ObserveValid(lf.fact);
-  }
+  ForEachScoredArrival(
+      test.arrivals, &model, /*observe_valid=*/true, kScoreBatch,
+      [&](size_t i, const AnomalyModel::TaskScores& s) {
+        const LabeledFact& lf = test.arrivals[i];
+        const size_t b = std::min<size_t>(
+            buckets - 1, static_cast<size_t>(
+                             static_cast<double>(lf.fact.time - t0) / width));
+        bucketed[b].push_back(
+            {s.conceptual, lf.label == AnomalyType::kConceptual});
+      });
   std::vector<double> series;
   for (auto& bucket : bucketed) {
     series.push_back(MetricsAtThreshold(bucket, threshold, 0.5).f_beta);

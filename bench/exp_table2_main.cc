@@ -22,6 +22,12 @@ int main() {
     }
     AnoTModel anot_model(DefaultAnoTOptions(w.config.name));
     results.push_back(RunModelOnWorkload(w, &anot_model, popts));
+    const EvalResult& anot_result = results.back();
+    std::printf(
+        "  AnoT test-window throughput: %.0f samples/s "
+        "(micro-batch %zu, %.2fs wall incl. observe-valid ingest)\n",
+        anot_result.throughput, anot_result.score_batch_size,
+        anot_result.test_seconds);
   }
   std::printf("\n%s", Reporter::RenderComparison(results).c_str());
 

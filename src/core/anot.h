@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/builder.h"
 #include "core/explain.h"
@@ -11,6 +12,7 @@
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/thread_pool.h"
 
 namespace anot {
 
@@ -25,8 +27,10 @@ struct AnoTOptions {
   /// (The paper disables refresh during evaluation for fairness, §5.2.)
   bool auto_refresh = false;
   /// Worker threads for the offline construction pipeline (candidate
-  /// generation, candidate costing, duration views). 0 = one worker per
-  /// hardware thread. The built model is bit-identical for every value.
+  /// generation, candidate costing, duration views) *and* the batched
+  /// online serving path (ScoreBatch / ProcessArrivalBatch). 0 = one
+  /// worker per hardware thread. Built models and batched scores are
+  /// bit-identical for every value.
   size_t num_threads = 0;
 };
 
@@ -52,10 +56,31 @@ class AnoT {
   Scores Score(const Fact& fact) const;
   Scores ScoreWithEvidence(const Fact& fact, Evidence* evidence) const;
 
+  /// Batched detector: scores `facts` concurrently on the serving pool
+  /// (scoring is const over graph/categories/rules) and commits results
+  /// in arrival order. Bit-identical to calling Score per fact, for any
+  /// AnoTOptions::num_threads. Not safe to call concurrently with itself
+  /// or with any mutating member.
+  std::vector<Scores> ScoreBatch(const std::vector<Fact>& facts) const;
+
   /// Full online step: scores, feeds the monitor, and — when the scores
   /// clear the validity thresholds and the updater is enabled — ingests
-  /// the knowledge (Algorithm 3). Returns the scores.
-  Scores ProcessArrival(const Fact& fact);
+  /// the knowledge (Algorithm 3). Returns the scores. When `effects` is
+  /// non-null, the ingest's counters are *accumulated* into it.
+  Scores ProcessArrival(const Fact& fact, UpdateEffects* effects = nullptr);
+
+  /// Micro-batched online step: speculatively scores a window of arrivals
+  /// in parallel against the current (frozen) rule graph, then commits
+  /// them one by one in arrival order, applying the serial monitor /
+  /// threshold / updater / auto-refresh logic per fact. The moment a
+  /// commit mutates scoring state (an ingest or a refresh), the remaining
+  /// speculative scores are discarded and re-scored against the new state,
+  /// so every returned score — and every UpdateEffects counter, refresh
+  /// point, and rule-graph mutation — is bit-identical to the sequential
+  /// ProcessArrival loop at any num_threads and any batch size. When
+  /// `effects` is non-null, all ingest counters are accumulated into it.
+  std::vector<Scores> ProcessArrivalBatch(const std::vector<Fact>& batch,
+                                          UpdateEffects* effects = nullptr);
 
   /// Validity thresholds used by ProcessArrival (tuned on validation in
   /// the experiment protocol). Facts with static_score <= static_threshold
@@ -83,6 +108,22 @@ class AnoT {
   AnoT() = default;
   void Rebuild();
 
+  /// Serial commit step shared by ProcessArrival and the batched path:
+  /// monitor observation, validity thresholds, updater ingest, optional
+  /// auto-refresh. Returns true when the commit mutated scoring state
+  /// (speculative scores computed before it are stale).
+  bool CommitArrival(const Fact& fact, const Scores& scores,
+                     UpdateEffects* effects);
+
+  /// Scores facts[begin, end) into (*out)[begin, end) on the serving pool.
+  void ScoreRangeInto(const std::vector<Fact>& facts, size_t begin,
+                      size_t end, std::vector<Scores>* out) const;
+
+  /// Lazily created worker pool for batched serving; nullptr while the
+  /// configured thread count resolves to 1. Mutable because scoring is
+  /// logically const — the pool is an execution resource, not state.
+  ThreadPool* ServingPool() const;
+
   /// Heap-allocated so its address survives moves of the AnoT object:
   /// Scorer and Updater capture a pointer to options_->detector, and
   /// Build() returns by value — with an inline member that pointer would
@@ -96,6 +137,7 @@ class AnoT {
   std::unique_ptr<Scorer> scorer_;
   std::unique_ptr<Updater> updater_;
   std::unique_ptr<Monitor> monitor_;
+  mutable std::unique_ptr<ThreadPool> serving_pool_;
   BuildReport report_;
   double static_threshold_ = 1.0;
   double temporal_threshold_ = 1.0;

@@ -371,6 +371,15 @@ CandidatePool CandidateGenerator::Generate(ThreadPool* workers) const {
   GenerateChainEdges(&pool, workers);
   if (options_.use_triadic) GenerateTriadicEdges(&pool, workers);
 
+  // All shard merges are done; the replay logs have served their purpose.
+  // Dropping them reclaims one uint64 per assertion — on large graphs that
+  // is on the order of the candidate pool itself.
+  for (RuleCandidate& c : pool.rules) {
+    c.subject_entropy.DropReplayLog();
+    c.object_entropy.DropReplayLog();
+  }
+  for (EdgeCandidate& e : pool.edges) e.timespan_entropy.DropReplayLog();
+
   if (pool.edges.size() > options_.max_candidate_edges) {
     // Keep the highest-support edges; stable/deterministic.
     std::vector<uint32_t> order(pool.edges.size());

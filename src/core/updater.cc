@@ -37,6 +37,7 @@ bool Updater::ShouldAdmitRule(const AtomicRule& rule,
 
 UpdateEffects Updater::Ingest(const Fact& fact) {
   UpdateEffects effects;
+  effects.facts_ingested = 1;
 
   // ---- Entity semantic changes (Alg. 3 lines 4-9) --------------------------
   // Token novelty must be checked before the fact lands in the graph.

@@ -17,6 +17,18 @@ struct UpdateEffects {
   uint32_t new_rule_nodes = 0;
   uint32_t new_rule_edges = 0;
   uint32_t timespans_recorded = 0;
+  /// Number of Ingest calls folded into this struct (1 after one Ingest).
+  uint32_t facts_ingested = 0;
+
+  /// Folds another ingest's counters into this one — stream/batch totals.
+  void Accumulate(const UpdateEffects& other) {
+    added_fact |= other.added_fact;
+    new_entity_categories += other.new_entity_categories;
+    new_rule_nodes += other.new_rule_nodes;
+    new_rule_edges += other.new_rule_edges;
+    timespans_recorded += other.timespans_recorded;
+    facts_ingested += other.facts_ingested;
+  }
 };
 
 /// \brief Online rule-graph maintenance (§4.4, Algorithm 3).

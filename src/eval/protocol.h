@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,8 +28,14 @@ struct EvalResult {
   TaskResult time;
   TaskResult missing;
   double fit_seconds = 0.0;
-  /// Test-stream scoring throughput, samples/second (Figures 7-8).
+  /// Wall-clock of the whole test window — scoring *and* observe-valid
+  /// ingest — the latency budget an online deployment actually pays.
+  double test_seconds = 0.0;
+  /// Test-stream throughput, samples/second (Figures 7-8), measured over
+  /// `test_seconds`.
   double throughput = 0.0;
+  /// Micro-batch cap the stream was scored with (1 = sequential).
+  size_t score_batch_size = 1;
 };
 
 /// \brief The paper's evaluation protocol (§5.1-5.2): 60/10/30 timestamp
@@ -42,7 +50,25 @@ struct ProtocolOptions {
   /// (AnoT's updater; frequency/recency baselines). The paper's rule-graph
   /// refresh stays disabled during evaluation for fairness.
   bool observe_valid = true;
+  /// Micro-batch cap for stream scoring. Arrivals flow through
+  /// AnomalyModel::ScoreBatch in windows that *end at each fact fed back
+  /// via ObserveValid* — the batch boundary is the updater ingest — so
+  /// every fact is scored against exactly the model state the sequential
+  /// loop would present and all metrics are bit-identical for every value.
+  /// 1 = sequential scoring.
+  size_t score_batch_size = 64;
 };
+
+/// Scores `arrivals` through model->ScoreBatch in micro-batches that end
+/// at each fact fed back via ObserveValid (when `observe_valid`), calling
+/// `visit(index, scores)` for every arrival in order. The building block
+/// of RunProtocol's stream scoring, exposed for harnesses that bucket or
+/// aggregate scores themselves (e.g. the Figure 6 updater experiment).
+void ForEachScoredArrival(
+    const std::vector<LabeledFact>& arrivals, AnomalyModel* model,
+    bool observe_valid, size_t batch_size,
+    const std::function<void(size_t, const AnomalyModel::TaskScores&)>&
+        visit);
 
 /// Runs the protocol for one model over an already generated full TKG.
 EvalResult RunProtocol(const TemporalKnowledgeGraph& full,

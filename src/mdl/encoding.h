@@ -71,7 +71,18 @@ class EntropyAccumulator {
 
   /// Replays the other accumulator's Add sequence into this one. The
   /// result is bitwise equal to having issued the same Adds here directly.
+  /// Fatal when either side has dropped its replay log: a dropped source
+  /// cannot be replayed, and replaying into a dropped target would leave
+  /// it with a partial log that silently breaks *its* future merges.
   void Merge(const EntropyAccumulator& other);
+
+  /// Discards the replay log once deterministic merging is finished,
+  /// reclaiming the one-entry-per-Add footprint (on large graphs the logs
+  /// roughly double the candidate pool's memory). TotalBits()/total() are
+  /// unaffected; subsequent Adds still update the counts but are no longer
+  /// logged, and any further Merge involving this accumulator is fatal.
+  void DropReplayLog();
+  bool replay_log_dropped() const { return log_dropped_; }
 
   /// Total bits = n log2 n - sum_c c log2 c.
   double TotalBits() const;
@@ -84,6 +95,7 @@ class EntropyAccumulator {
   std::vector<uint64_t> events_;
   double sum_clog2c_ = 0.0;
   uint64_t total_ = 0;
+  bool log_dropped_ = false;
 };
 
 }  // namespace anot

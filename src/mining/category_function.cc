@@ -5,6 +5,7 @@
 
 #include "mining/prefixspan.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace anot {
 
@@ -65,18 +66,24 @@ uint64_t TokenSetKey(const std::vector<uint32_t>& tokens) {
 
 CategoryFunction CategoryFunction::Build(
     const TemporalKnowledgeGraph& graph,
-    const CategoryFunctionOptions& options) {
+    const CategoryFunctionOptions& options, ThreadPool* workers) {
   CategoryFunction fn;
   fn.options_ = options;
   fn.entity_categories_.resize(graph.num_entities());
 
-  // 1. Transactions: each entity's directed relation token set.
+  // 1. Transactions: each entity's directed relation token set. Entities
+  // are independent, so the token pass shards trivially.
   std::vector<std::vector<uint32_t>> transactions(graph.num_entities());
-  for (EntityId e = 0; e < graph.num_entities(); ++e) {
-    const auto& tokens = graph.RelationTokens(e);
-    transactions[e].assign(tokens.begin(), tokens.end());
-    std::sort(transactions[e].begin(), transactions[e].end());
-  }
+  ParallelForShards(workers, graph.num_entities(),
+                    DeterministicShardCount(graph.num_entities()),
+                    [&](size_t /*shard*/, size_t begin, size_t end) {
+    for (EntityId e = static_cast<EntityId>(begin);
+         e < static_cast<EntityId>(end); ++e) {
+      const auto& tokens = graph.RelationTokens(e);
+      transactions[e].assign(tokens.begin(), tokens.end());
+      std::sort(transactions[e].begin(), transactions[e].end());
+    }
+  });
 
   // 2. Frequent relation combinations via PrefixSpan.
   PrefixSpan::Options ps;
@@ -106,50 +113,77 @@ CategoryFunction CategoryFunction::Build(
   std::set<uint64_t> seen;
   for (const auto& c : combos) seen.insert(TokenSetKey(c.tokens));
 
+  // Each round shards the quadratic pairwise scan over the outer index.
+  // Shards only *read* the frozen combo list and `seen` set and record
+  // their qualifying merge proposals in (i, j) scan order; the `seen`
+  // insertion — the one piece of state the sequential loop mutates
+  // mid-scan — is replayed at merge time in shard order, which equals the
+  // sequential scan order because shards are contiguous i-ranges. Keys
+  // already in the pre-round `seen`, or repeated within one shard, can
+  // never survive the replay, so shards filter them out up front (keeps
+  // the proposal buffers at the sequential loop's O(unique keys) instead
+  // of O(qualifying pairs)). The surviving `added` list is bit-identical
+  // for every worker count.
   for (size_t round = 0; round < options.max_aggregation_rounds; ++round) {
-    std::vector<ComboCandidate> added;
     const size_t n = combos.size();
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        const auto& ci = combos[i];
-        const auto& cj = combos[j];
-        // Entity-based aggregation: members overlap > 90% => the union of
-        // relations describes a finer shared category.
-        const size_t member_overlap =
-            IntersectionSize(ci.members, cj.members);
-        const size_t member_min =
-            std::min(ci.members.size(), cj.members.size());
-        if (member_min > 0 &&
-            static_cast<double>(member_overlap) /
-                    static_cast<double>(member_min) >
-                options.aggregation_overlap) {
-          ComboCandidate merged;
-          merged.tokens = Union(ci.tokens, cj.tokens);
-          merged.members = Intersection(ci.members, cj.members);
-          if (!merged.members.empty() &&
-              merged.members.size() >= options.min_support &&
-              seen.insert(TokenSetKey(merged.tokens)).second) {
-            added.push_back(std::move(merged));
+    const size_t num_shards = DeterministicShardCount(n);
+    std::vector<std::vector<std::pair<uint64_t, ComboCandidate>>> proposals(
+        num_shards);
+    ParallelForShards(workers, n, num_shards,
+                      [&](size_t shard_idx, size_t begin, size_t end) {
+      auto& local = proposals[shard_idx];
+      std::set<uint64_t> local_seen;
+      auto fresh = [&](uint64_t key) {
+        return seen.count(key) == 0 && local_seen.insert(key).second;
+      };
+      for (size_t i = begin; i < end; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          const auto& ci = combos[i];
+          const auto& cj = combos[j];
+          // Entity-based aggregation: members overlap > 90% => the union
+          // of relations describes a finer shared category.
+          const size_t member_overlap =
+              IntersectionSize(ci.members, cj.members);
+          const size_t member_min =
+              std::min(ci.members.size(), cj.members.size());
+          if (member_min > 0 &&
+              static_cast<double>(member_overlap) /
+                      static_cast<double>(member_min) >
+                  options.aggregation_overlap) {
+            ComboCandidate merged;
+            merged.tokens = Union(ci.tokens, cj.tokens);
+            merged.members = Intersection(ci.members, cj.members);
+            if (!merged.members.empty() &&
+                merged.members.size() >= options.min_support) {
+              const uint64_t key = TokenSetKey(merged.tokens);
+              if (fresh(key)) local.emplace_back(key, std::move(merged));
+            }
+            continue;
           }
-          continue;
-        }
-        // Relation-based aggregation: relation sets overlap > 90% => a
-        // more general category over the member union.
-        const size_t token_overlap = IntersectionSize(ci.tokens, cj.tokens);
-        const size_t token_min =
-            std::min(ci.tokens.size(), cj.tokens.size());
-        if (token_min > 0 &&
-            static_cast<double>(token_overlap) /
-                    static_cast<double>(token_min) >
-                options.aggregation_overlap) {
-          ComboCandidate merged;
-          merged.tokens = Intersection(ci.tokens, cj.tokens);
-          if (merged.tokens.empty()) continue;
-          merged.members = Union(ci.members, cj.members);
-          if (seen.insert(TokenSetKey(merged.tokens)).second) {
-            added.push_back(std::move(merged));
+          // Relation-based aggregation: relation sets overlap > 90% => a
+          // more general category over the member union.
+          const size_t token_overlap =
+              IntersectionSize(ci.tokens, cj.tokens);
+          const size_t token_min =
+              std::min(ci.tokens.size(), cj.tokens.size());
+          if (token_min > 0 &&
+              static_cast<double>(token_overlap) /
+                      static_cast<double>(token_min) >
+                  options.aggregation_overlap) {
+            ComboCandidate merged;
+            merged.tokens = Intersection(ci.tokens, cj.tokens);
+            if (merged.tokens.empty()) continue;
+            merged.members = Union(ci.members, cj.members);
+            const uint64_t key = TokenSetKey(merged.tokens);
+            if (fresh(key)) local.emplace_back(key, std::move(merged));
           }
         }
+      }
+    });
+    std::vector<ComboCandidate> added;
+    for (auto& local : proposals) {
+      for (auto& [key, candidate] : local) {
+        if (seen.insert(key).second) added.push_back(std::move(candidate));
       }
     }
     if (added.empty()) break;

@@ -8,6 +8,8 @@
 
 namespace anot {
 
+class ThreadPool;
+
 /// \brief Options controlling category-function construction (§4.3.1).
 struct CategoryFunctionOptions {
   /// Maximum categories assigned per entity (the paper's hyper-parameter k,
@@ -43,9 +45,14 @@ struct CategoryFunctionOptions {
 /// maximal coverage; fall back to a fresh singleton category).
 class CategoryFunction {
  public:
-  /// Builds C(·) from the offline-preserved part of the TKG.
+  /// Builds C(·) from the offline-preserved part of the TKG. With a worker
+  /// pool the token pass and the pairwise aggregation rounds run sharded
+  /// (deterministic shard boundaries, merges replayed in scan order), so
+  /// the result is bit-identical for every pool size including nullptr —
+  /// the same contract as the candidate-generation pipeline.
   static CategoryFunction Build(const TemporalKnowledgeGraph& graph,
-                                const CategoryFunctionOptions& options);
+                                const CategoryFunctionOptions& options,
+                                ThreadPool* workers = nullptr);
 
   /// Categories of entity e (ascending ids; empty for unseen entities).
   const std::vector<CategoryId>& Categories(EntityId e) const;

@@ -255,6 +255,32 @@ TEST_F(CoreFixture, RuleGraphIdenticalAcrossThreadCounts) {
             parallel.report().associated_fraction);
 }
 
+TEST_F(CoreFixture, RefreshMidStreamIdenticalAcrossThreadCounts) {
+  // Refresh rebuilds the category function and the rule graph from the
+  // *grown* TKG; both rebuild stages shard, so the refreshed model must
+  // stay bit-identical across thread counts too.
+  auto run = [&](size_t threads) {
+    AnoTOptions options;
+    options.detector = TestDetectorOptions();
+    options.num_threads = threads;
+    auto system = std::make_unique<AnoT>(AnoT::Build(*train_, options));
+    size_t replayed = 0;
+    for (FactId id : split_->val) {
+      system->IngestValid(graph_->fact(id));
+      if (++replayed >= 300) break;
+    }
+    system->Refresh();
+    return system;
+  };
+  auto serial = run(1);
+  auto parallel = run(8);
+  EXPECT_EQ(serial->refresh_count(), parallel->refresh_count());
+  EXPECT_EQ(serial->categories().num_categories(),
+            parallel->categories().num_categories());
+  ExpectRuleGraphsIdentical(serial->rules(), parallel->rules());
+  EXPECT_EQ(serial->report().negative_bits, parallel->report().negative_bits);
+}
+
 // ---------------------------------------------------------------- Scoring
 
 TEST_F(CoreFixture, ValidFactsScoreLowerThanConceptualAnomalies) {

@@ -106,6 +106,122 @@ TEST(ReporterTest, ComparisonGroupsByDataset) {
   EXPECT_NE(out.find("0.950"), std::string::npos);
 }
 
+// ------------------------------------------- micro-batching invariance
+
+/// Records the model-visible call sequence — Score and ObserveValid, in
+/// order — plus every ScoreBatch window size. Scores are a deterministic
+/// function of the fact, so threshold tuning has something to rank.
+class ProbeModel : public AnomalyModel {
+ public:
+  std::string name() const override { return "probe"; }
+  void Fit(const TemporalKnowledgeGraph& train) override { (void)train; }
+
+  TaskScores Score(const Fact& fact) override {
+    sequence.push_back("S:" + Key(fact));
+    const double x =
+        static_cast<double>((fact.subject * 31 + fact.object * 7 +
+                             static_cast<uint64_t>(fact.time)) %
+                            1000) /
+        1000.0;
+    return TaskScores{x, 1.0 - x, x};
+  }
+
+  std::vector<TaskScores> ScoreBatch(
+      const std::vector<Fact>& facts) override {
+    batch_sizes.push_back(facts.size());
+    return AnomalyModel::ScoreBatch(facts);
+  }
+
+  void ObserveValid(const Fact& fact) override {
+    sequence.push_back("V:" + Key(fact));
+  }
+
+  static std::string Key(const Fact& f) {
+    return std::to_string(f.subject) + "_" + std::to_string(f.relation) +
+           "_" + std::to_string(f.object) + "_" + std::to_string(f.time);
+  }
+
+  std::vector<std::string> sequence;
+  std::vector<size_t> batch_sizes;
+};
+
+GeneratorConfig SmallProtocolWorld() {
+  GeneratorConfig cfg;
+  cfg.num_entities = 150;
+  cfg.num_relations = 18;
+  cfg.num_timestamps = 90;
+  cfg.num_facts = 3000;
+  cfg.num_categories = 5;
+  cfg.num_chain_rules = 4;
+  cfg.seed = 13;
+  return cfg;
+}
+
+TEST(ProtocolTest, ObserveValidOrderingPreservedAcrossBatchBoundaries) {
+  SyntheticGenerator gen(SmallProtocolWorld());
+  auto graph = gen.Generate();
+  TimeSplit split = SplitByTimestamps(*graph, 0.6, 0.1);
+
+  auto run = [&](size_t batch_size) {
+    ProbeModel model;
+    ProtocolOptions popts;
+    popts.score_batch_size = batch_size;
+    RunProtocol(*graph, split, &model, popts);
+    return model;
+  };
+  const ProbeModel sequential = run(1);
+  const ProbeModel batched = run(64);
+
+  // The model-visible call sequence — every Score, every ObserveValid, in
+  // order — is invariant: the batch boundary sits exactly at each ingest.
+  ASSERT_FALSE(sequential.sequence.empty());
+  EXPECT_EQ(sequential.sequence, batched.sequence);
+  // And batching genuinely engaged: multi-fact windows within the cap.
+  size_t max_batch = 0;
+  for (size_t b : batched.batch_sizes) max_batch = std::max(max_batch, b);
+  EXPECT_GT(max_batch, 1u);
+  EXPECT_LE(max_batch, 64u);
+  for (size_t b : sequential.batch_sizes) EXPECT_EQ(b, 1u);
+}
+
+TEST(ProtocolTest, MetricsIdenticalWithMicroBatchingOnAndOff) {
+  SyntheticGenerator gen(SmallProtocolWorld());
+  auto graph = gen.Generate();
+  TimeSplit split = SplitByTimestamps(*graph, 0.6, 0.1);
+
+  AnoTOptions options;
+  options.detector.category.min_support = 4;
+  options.detector.timespan_tolerance = 5;
+
+  auto run = [&](size_t batch_size, size_t threads) {
+    AnoTOptions o = options;
+    o.num_threads = threads;
+    AnoTModel model(o);
+    ProtocolOptions popts;
+    popts.score_batch_size = batch_size;
+    return RunProtocol(*graph, split, &model, popts);
+  };
+  const EvalResult off = run(1, 1);
+  EXPECT_EQ(off.score_batch_size, 1u);
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    const EvalResult on = run(64, threads);
+    EXPECT_EQ(on.score_batch_size, 64u);
+    // Bitwise equality: micro-batching must not change a single metric.
+    EXPECT_EQ(off.conceptual.pr_auc, on.conceptual.pr_auc) << threads;
+    EXPECT_EQ(off.conceptual.precision, on.conceptual.precision) << threads;
+    EXPECT_EQ(off.conceptual.f_beta, on.conceptual.f_beta) << threads;
+    EXPECT_EQ(off.time.pr_auc, on.time.pr_auc) << threads;
+    EXPECT_EQ(off.time.precision, on.time.precision) << threads;
+    EXPECT_EQ(off.time.f_beta, on.time.f_beta) << threads;
+    EXPECT_EQ(off.missing.pr_auc, on.missing.pr_auc) << threads;
+    EXPECT_EQ(off.missing.precision, on.missing.precision) << threads;
+    EXPECT_EQ(off.missing.f_beta, on.missing.f_beta) << threads;
+    EXPECT_GT(on.throughput, 0.0);
+    EXPECT_GT(on.test_seconds, 0.0);
+  }
+}
+
 // ------------------------------------------------------ protocol + AnoT
 
 TEST(ProtocolTest, AnoTEndToEndProducesSaneMetrics) {

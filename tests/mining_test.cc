@@ -6,6 +6,7 @@
 #include "datagen/generator.h"
 #include "mining/category_function.h"
 #include "mining/prefixspan.h"
+#include "util/thread_pool.h"
 
 namespace anot {
 namespace {
@@ -248,6 +249,44 @@ TEST_F(CategoryFixture, NewEntityGetsCategoriesViaUpdate) {
   CategoryId added = fn.UpdateEntity(fresh, OutRelationToken(plays), g_);
   EXPECT_NE(added, kInvalidId);
   EXPECT_FALSE(fn.Categories(fresh).empty());
+}
+
+TEST(CategoryFunctionTest, BuildIdenticalAcrossWorkerCounts) {
+  // The token pass and the aggregation rounds shard onto a worker pool;
+  // ordered merge replay must keep the built function bit-identical to
+  // the serial build (the same contract as candidate generation).
+  GeneratorConfig cfg;
+  cfg.num_entities = 300;
+  cfg.num_relations = 24;
+  cfg.num_timestamps = 80;
+  cfg.num_facts = 6000;
+  cfg.num_categories = 6;
+  cfg.seed = 91;
+  SyntheticGenerator gen(cfg);
+  auto graph = gen.Generate();
+
+  CategoryFunctionOptions opts;
+  opts.min_support = 3;
+  // Force several aggregation rounds with plenty of pairwise merges.
+  opts.max_aggregation_rounds = 4;
+
+  auto serial = CategoryFunction::Build(*graph, opts, nullptr);
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    auto parallel = CategoryFunction::Build(*graph, opts, &pool);
+    ASSERT_EQ(serial.num_categories(), parallel.num_categories())
+        << threads << " workers";
+    for (CategoryId c = 0; c < serial.num_categories(); ++c) {
+      ASSERT_EQ(serial.Combination(c), parallel.Combination(c))
+          << "category " << c << " @ " << threads << " workers";
+      ASSERT_EQ(serial.Members(c), parallel.Members(c))
+          << "category " << c << " @ " << threads << " workers";
+    }
+    for (EntityId e = 0; e < graph->num_entities(); ++e) {
+      ASSERT_EQ(serial.Categories(e), parallel.Categories(e))
+          << "entity " << e << " @ " << threads << " workers";
+    }
+  }
 }
 
 TEST(CategoryFunctionTest, RecoversPlantedCategoriesOnSyntheticData) {
