@@ -11,6 +11,7 @@
 #include "mining/category_function.h"
 #include "mining/prefixspan.h"
 #include "tkg/split.h"
+#include "util/timer.h"
 
 namespace anot {
 namespace {
@@ -258,6 +259,60 @@ void BM_StaticAndTemporalScoring(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StaticAndTemporalScoring);
+
+// Worst per-arrival stall while a rule-graph refresh runs. Synchronous
+// mode pays the entire rebuild inside the arrival that triggered it;
+// asynchronous mode snapshots, rebuilds on a background thread while the
+// old scorer keeps serving, and charges only the snapshot copy plus the
+// swap replay to arrivals. The max_stall_us counter is the comparison:
+// async must be >= 10x below sync (the PR's latency-cliff acceptance).
+void BM_RefreshStall(benchmark::State& state) {
+  const bool async = state.range(0) != 0;
+  TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);
+  auto train = Subgraph(SharedGraph(), split.train);
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  options.refresh_mode =
+      async ? RefreshMode::kAsynchronous : RefreshMode::kSynchronous;
+  AnoT system = AnoT::Build(*train, options);
+
+  const size_t kArrivals = 256;
+  double max_stall_us = 0.0;
+  size_t next = 0;
+  auto timed_arrival = [&](bool trigger_refresh) {
+    const Fact f =
+        SharedGraph().fact(split.test[next++ % split.test.size()]);
+    WallTimer timer;
+    if (trigger_refresh) {
+      // Emulates the monitor firing at this commit.
+      if (async) {
+        system.RefreshAsync();
+      } else {
+        system.Refresh();
+      }
+    }
+    system.ProcessArrival(f);
+    max_stall_us = std::max(max_stall_us, timer.ElapsedSeconds() * 1e6);
+  };
+  for (auto _ : state) {
+    for (size_t i = 0; i < kArrivals; ++i) timed_arrival(i == 0);
+    if (async) {
+      // The background build outlives the short arrival burst; charge the
+      // swap (adopt + replay) to the arrival whose commit performs it,
+      // excluding the idle wait for the builder.
+      system.WaitForRefreshReady();
+      timed_arrival(false);
+    }
+  }
+  state.counters["max_stall_us"] = max_stall_us;
+  state.SetItemsProcessed(state.iterations() * kArrivals);
+}
+BENCHMARK(BM_RefreshStall)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("async")
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 void BM_UpdaterIngest(benchmark::State& state) {
   TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);

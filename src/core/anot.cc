@@ -1,6 +1,9 @@
 #include "core/anot.h"
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -23,6 +26,28 @@ std::unique_ptr<TemporalKnowledgeGraph> CopyGraph(
 
 }  // namespace
 
+/// One double-buffered rebuild. The worker thread touches only this
+/// struct (snapshot in, built structures out) — never the owning AnoT,
+/// whose address changes under moves. `ready` is the release/acquire
+/// handshake: the worker publishes `built` before setting it; the serving
+/// thread reads `built` only after observing it true.
+struct AnoT::AsyncRefresh {
+  std::unique_ptr<TemporalKnowledgeGraph> snapshot;
+  BuiltStructures built;
+  std::atomic<bool> cancel{false};
+  std::atomic<bool> ready{false};
+  std::thread worker;
+
+  ~AsyncRefresh() {
+    cancel.store(true, std::memory_order_relaxed);
+    if (worker.joinable()) worker.join();
+  }
+};
+
+AnoT::AnoT(AnoT&&) noexcept = default;
+AnoT& AnoT::operator=(AnoT&&) noexcept = default;
+AnoT::~AnoT() = default;
+
 AnoT AnoT::Build(const TemporalKnowledgeGraph& offline,
                  const AnoTOptions& options) {
   AnoT anot;
@@ -36,36 +61,59 @@ AnoT AnoT::Build(const TemporalKnowledgeGraph& offline,
   return anot;
 }
 
-void AnoT::Rebuild() {
-  // The category rebuild shards on the serving pool when batched serving
-  // already created one (it sits idle during a rebuild, and reusing it
-  // spares the serving thread a spawn/join cycle per Refresh); otherwise
-  // on a scoped transient pool, so pool creation stays lazy for
-  // offline-only users. Results are bit-identical for every count.
+AnoT::BuiltStructures AnoT::BuildStructures(
+    const TemporalKnowledgeGraph& graph, const AnoTOptions& options,
+    ThreadPool* workers, const std::atomic<bool>* cancel) {
+  BuiltStructures out;
   {
-    ThreadPool* workers = serving_pool_.get();
+    // The category build shards on the caller's pool when given one;
+    // otherwise on a scoped transient pool, so pool creation stays lazy
+    // for offline-only users. Results are bit-identical for every count.
     std::unique_ptr<ThreadPool> transient;
     if (workers == nullptr) {
-      const size_t threads = ResolveNumThreads(options_->num_threads);
+      const size_t threads = ResolveNumThreads(options.num_threads);
       if (threads > 1) {
         transient = std::make_unique<ThreadPool>(threads);
         workers = transient.get();
       }
     }
-    categories_ = std::make_unique<CategoryFunction>(CategoryFunction::Build(
-        *graph_, options_->detector.category, workers));
+    out.categories = std::make_unique<CategoryFunction>(CategoryFunction::Build(
+        graph, options.detector.category, workers, cancel));
   }
-  RuleGraphBuilder builder(*graph_, *categories_, options_->detector,
-                           options_->num_threads);
-  auto built = builder.Build();
-  rules_ = std::move(built.rule_graph);
-  report_ = built.report;
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return out;  // incomplete: caller discards
+  }
+  RuleGraphBuilder builder(graph, *out.categories, options.detector,
+                           options.num_threads);
+  auto built = builder.Build(cancel);
+  out.rules = std::move(built.rule_graph);
+  out.report = built.report;
+  return out;
+}
 
+void AnoT::Rebuild() {
+  // Reuse the serving pool when batched serving already created one (it
+  // sits idle during an inline rebuild, and reusing it spares the serving
+  // thread a spawn/join cycle per Refresh).
+  BuiltStructures built =
+      BuildStructures(*graph_, *options_, serving_pool_.get(),
+                      /*cancel=*/nullptr);
+  categories_ = std::move(built.categories);
+  rules_ = std::move(built.rules);
+  report_ = built.report;
+  RecreateServingObjects();
+  ResetMonitorFromReport();
+}
+
+void AnoT::RecreateServingObjects() {
   scorer_ = std::make_unique<Scorer>(graph_.get(), categories_.get(),
                                      rules_.get(), &options_->detector);
   updater_ = std::make_unique<Updater>(graph_.get(), categories_.get(),
                                        rules_.get(), &options_->detector,
                                        options_->updater);
+}
+
+void AnoT::ResetMonitorFromReport() {
   const double e = std::max<double>(2.0, graph_->num_entities());
   const double r = std::max<double>(1.0, graph_->num_relations());
   monitor_ = std::make_unique<Monitor>(report_.negative_bits,
@@ -87,7 +135,9 @@ void AnoT::SetValidityThresholds(double static_threshold,
 }
 
 UpdateEffects AnoT::IngestValid(const Fact& fact) {
-  return updater_->Ingest(fact);
+  const UpdateEffects effects = updater_->Ingest(fact);
+  if (async_ != nullptr) refresh_replay_facts_.push_back(fact);
+  return effects;
 }
 
 ThreadPool* AnoT::ServingPool() const {
@@ -124,8 +174,12 @@ std::vector<Scores> AnoT::ScoreBatch(const std::vector<Fact>& facts) const {
 
 bool AnoT::CommitArrival(const Fact& fact, const Scores& scores,
                          UpdateEffects* effects) {
-  monitor_->Observe(fact.time, scores.static_support > 0.0,
-                    scores.associated);
+  const bool mapped = scores.static_support > 0.0;
+  monitor_->Observe(fact.time, mapped, scores.associated);
+  if (async_ != nullptr) {
+    refresh_replay_observations_.push_back(
+        MonitorObservation{fact.time, mapped, scores.associated});
+  }
   const bool valid = scores.static_score <= static_threshold_ &&
                      (!scores.temporal_evaluated ||
                       scores.temporal_score <= temporal_threshold_);
@@ -133,12 +187,23 @@ bool AnoT::CommitArrival(const Fact& fact, const Scores& scores,
   if (valid && options_->enable_updater) {
     const UpdateEffects e = updater_->Ingest(fact);
     if (effects != nullptr) effects->Accumulate(e);
+    if (async_ != nullptr) refresh_replay_facts_.push_back(fact);
     mutated = true;
   }
   if (options_->auto_refresh && monitor_->ShouldRefresh()) {
-    Refresh();
-    mutated = true;
+    if (options_->refresh_mode == RefreshMode::kAsynchronous) {
+      // Launching the snapshot/build does not mutate scoring state, so
+      // speculative scores stay valid; requests coalesce while one build
+      // is in flight.
+      RefreshAsync();
+    } else {
+      Refresh();
+      mutated = true;
+    }
   }
+  // Swap in a staged background build at this commit boundary; the swap
+  // mutates scoring state, so the batch loop re-scores everything after.
+  if (MaybeCompleteRefresh()) mutated = true;
   return mutated;
 }
 
@@ -180,8 +245,92 @@ std::vector<Scores> AnoT::ProcessArrivalBatch(const std::vector<Fact>& batch,
 }
 
 void AnoT::Refresh() {
+  AbandonRefresh();
   ++refresh_count_;
   Rebuild();
+}
+
+void AnoT::RefreshAsync() {
+  if (async_ != nullptr) return;  // coalesce: already in flight or staged
+  async_ = std::make_unique<AsyncRefresh>();
+  async_->snapshot = CopyGraph(*graph_);
+  refresh_replay_facts_.clear();
+  refresh_replay_observations_.clear();
+  // The worker owns only the heap-held AsyncRefresh (stable across moves
+  // of this AnoT) and a copy of the options.
+  AsyncRefresh* state = async_.get();
+  const AnoTOptions options = *options_;
+  state->worker = std::thread([state, options] {
+    BuiltStructures built =
+        BuildStructures(*state->snapshot, options, nullptr, &state->cancel);
+    if (!state->cancel.load(std::memory_order_relaxed)) {
+      state->built = std::move(built);
+    }
+    state->ready.store(true, std::memory_order_release);
+  });
+}
+
+bool AnoT::refresh_in_flight() const { return async_ != nullptr; }
+
+bool AnoT::RefreshReady() const {
+  return async_ != nullptr && async_->ready.load(std::memory_order_acquire);
+}
+
+void AnoT::WaitForRefreshReady() {
+  if (async_ == nullptr) return;
+  if (async_->worker.joinable()) async_->worker.join();
+}
+
+bool AnoT::FinishRefresh() {
+  if (async_ == nullptr) return false;
+  WaitForRefreshReady();
+  CompleteRefresh();
+  return true;
+}
+
+bool AnoT::MaybeCompleteRefresh() {
+  if (async_ == nullptr ||
+      !async_->ready.load(std::memory_order_acquire)) {
+    return false;
+  }
+  CompleteRefresh();
+  return true;
+}
+
+void AnoT::CompleteRefresh() {
+  ANOT_CHECK(async_ != nullptr);
+  if (async_->worker.joinable()) async_->worker.join();
+  ANOT_CHECK(async_->built.rules != nullptr);
+  // 1. Adopt the structures built from the snapshot. The old graph —
+  // including the facts ingested since the snapshot — is discarded; the
+  // replay below re-applies those ingests to the new state.
+  graph_ = std::move(async_->snapshot);
+  categories_ = std::move(async_->built.categories);
+  rules_ = std::move(async_->built.rules);
+  report_ = async_->built.report;
+  async_.reset();
+  RecreateServingObjects();
+  // Monitor budget and universe sizes come from the snapshot state,
+  // exactly as a synchronous Refresh() at the snapshot point would set
+  // them — so before the ingest replay grows the graph.
+  ResetMonitorFromReport();
+  // 2. Replay the ingests logged since the snapshot through the fresh
+  // updater (their serving-time UpdateEffects were already reported; the
+  // replay's are bookkeeping against the new state and are discarded).
+  for (const Fact& fact : refresh_replay_facts_) updater_->Ingest(fact);
+  // 3. Replay the observation window into the reset monitor so the
+  // in-flight bucket accounting is not lost across the swap.
+  monitor_->Replay(refresh_replay_observations_);
+  refresh_replay_facts_.clear();
+  refresh_replay_observations_.clear();
+  ++refresh_count_;
+}
+
+void AnoT::AbandonRefresh() {
+  if (async_ == nullptr) return;
+  async_.reset();  // cancels and joins the worker
+  refresh_replay_facts_.clear();
+  refresh_replay_observations_.clear();
 }
 
 Explainer AnoT::MakeExplainer() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -16,6 +17,20 @@
 
 namespace anot {
 
+/// \brief How a monitor-triggered refresh executes (§4.5 rebuild).
+enum class RefreshMode {
+  /// Rebuild inline on the serving thread. The paper's semantics: every
+  /// refresh stalls arrivals for one full offline build.
+  kSynchronous,
+  /// Double-buffered: snapshot the grown TKG, rebuild on a background
+  /// thread while the old scorer keeps serving, swap at the next commit
+  /// boundary and replay the facts ingested since the snapshot. The
+  /// post-swap state is bit-identical to a synchronous Refresh() at the
+  /// snapshot point followed by the same ingests (see Refresh contract
+  /// below).
+  kAsynchronous,
+};
+
 /// \brief Top-level AnoT configuration.
 struct AnoTOptions {
   DetectorOptions detector;
@@ -23,9 +38,12 @@ struct AnoTOptions {
   MonitorOptions monitor;
   /// Table 3's "remove updater module" ablation switch.
   bool enable_updater = true;
-  /// When true, Refresh() runs automatically once the monitor fires.
-  /// (The paper disables refresh during evaluation for fairness, §5.2.)
+  /// When true, a refresh runs automatically once the monitor fires,
+  /// executed per `refresh_mode`. (The paper disables refresh during
+  /// evaluation for fairness, §5.2.)
   bool auto_refresh = false;
+  /// Execution mode of monitor-triggered refreshes.
+  RefreshMode refresh_mode = RefreshMode::kSynchronous;
   /// Worker threads for the offline construction pipeline (candidate
   /// generation, candidate costing, duration views) *and* the batched
   /// online serving path (ScoreBatch / ProcessArrivalBatch). 0 = one
@@ -51,6 +69,11 @@ class AnoT {
   /// and the optimal rule graph (Algorithm 1).
   static AnoT Build(const TemporalKnowledgeGraph& offline,
                     const AnoTOptions& options);
+
+  AnoT(AnoT&&) noexcept;
+  AnoT& operator=(AnoT&&) noexcept;
+  /// Cancels and joins any in-flight background rebuild.
+  ~AnoT();
 
   /// Detector: Algorithm 2. Does not mutate state.
   Scores Score(const Fact& fact) const;
@@ -92,21 +115,98 @@ class AnoT {
   UpdateEffects IngestValid(const Fact& fact);
 
   /// Rebuilds the category function and rule graph from the current
-  /// (grown) TKG and resets the monitor.
+  /// (grown) TKG and resets the monitor, inline on the calling thread.
+  /// Abandons (cancels) any in-flight background rebuild first.
   void Refresh();
+
+  // -- Asynchronous (double-buffered) refresh -------------------------------
+  //
+  // RefreshAsync() snapshots the grown TKG and rebuilds the category
+  // function + rule graph on a background thread while the current scorer
+  // keeps serving. Facts ingested after the snapshot are logged; monitor
+  // observations after the snapshot are logged too. Once the build is
+  // ready, the next ProcessArrival/ProcessArrivalBatch commit boundary
+  // (or FinishRefresh) performs the swap:
+  //
+  //   1. adopt the rebuilt structures (built from the snapshot),
+  //   2. replay the logged ingests through a fresh Updater, and
+  //   3. reset the monitor to the new budget and replay the logged
+  //      observations (the in-flight accounting window is preserved).
+  //
+  // Determinism contract: the post-swap graph, categories, rule graph,
+  // scorer state and refresh_count are bit-identical to calling the
+  // synchronous Refresh() at the snapshot point followed by IngestValid
+  // of the same logged facts; the post-swap monitor equals a monitor
+  // reset to the new budget that then observed the logged window. Inside
+  // a batch the swap counts as a state mutation, so speculative scores
+  // computed before it are discarded and re-scored — batched serving
+  // stays bit-identical to the sequential loop.
+
+  /// Starts a background rebuild; returns immediately. No-op when one is
+  /// already in flight or staged (requests coalesce).
+  void RefreshAsync();
+
+  /// True from RefreshAsync() until the swap (or abandonment).
+  bool refresh_in_flight() const;
+
+  /// True when the background build has finished and the swap will happen
+  /// at the next commit boundary.
+  bool RefreshReady() const;
+
+  /// Blocks until the in-flight build (if any) is staged. Does NOT swap.
+  void WaitForRefreshReady();
+
+  /// Waits for the in-flight build and performs the swap immediately (an
+  /// explicit commit boundary: end of stream, quiesce). Returns true when
+  /// a swap happened, false when nothing was in flight.
+  bool FinishRefresh();
 
   const TemporalKnowledgeGraph& graph() const { return *graph_; }
   const CategoryFunction& categories() const { return *categories_; }
   const RuleGraph& rules() const { return *rules_; }
   const BuildReport& report() const { return report_; }
   const Monitor& monitor() const { return *monitor_; }
+  const Updater& updater() const { return *updater_; }
   Explainer MakeExplainer() const;
   const AnoTOptions& options() const { return *options_; }
   size_t refresh_count() const { return refresh_count_; }
 
  private:
   AnoT() = default;
+
+  /// The rebuildable structures: what an offline build (or a refresh)
+  /// produces from a TKG.
+  struct BuiltStructures {
+    std::unique_ptr<CategoryFunction> categories;
+    std::unique_ptr<RuleGraph> rules;
+    BuildReport report;
+  };
+
+  /// Runs the CategoryFunction + RuleGraphBuilder pipeline on `graph`.
+  /// Pure with respect to the AnoT instance, so it can run on a
+  /// background thread against a snapshot. When `workers` is null and the
+  /// resolved thread count exceeds 1, a transient pool is created for the
+  /// category passes. `cancel` aborts between stages (result must then be
+  /// discarded).
+  static BuiltStructures BuildStructures(const TemporalKnowledgeGraph& graph,
+                                         const AnoTOptions& options,
+                                         ThreadPool* workers,
+                                         const std::atomic<bool>* cancel);
+
   void Rebuild();
+  /// Recreates scorer_ and updater_ against the current structures.
+  void RecreateServingObjects();
+  /// Fresh monitor adopting report_'s budget and graph_'s universe sizes.
+  void ResetMonitorFromReport();
+
+  /// Swaps in the staged background build if one is ready. Returns true
+  /// when the swap happened (a scoring-state mutation).
+  bool MaybeCompleteRefresh();
+  /// Adopt staged structures + replay ingest/observation logs (see the
+  /// determinism contract above). Requires a ready staged build.
+  void CompleteRefresh();
+  /// Cancels and discards any in-flight background build and its logs.
+  void AbandonRefresh();
 
   /// Serial commit step shared by ProcessArrival and the batched path:
   /// monitor observation, validity thresholds, updater ingest, optional
@@ -138,6 +238,20 @@ class AnoT {
   std::unique_ptr<Updater> updater_;
   std::unique_ptr<Monitor> monitor_;
   mutable std::unique_ptr<ThreadPool> serving_pool_;
+
+  /// In-flight double-buffered rebuild (heap-held so the background
+  /// thread's pointer survives moves of the AnoT object); nullptr when no
+  /// refresh is in flight. Defined in anot.cc; its destructor cancels and
+  /// joins the worker.
+  struct AsyncRefresh;
+  std::unique_ptr<AsyncRefresh> async_;
+  /// Facts ingested since the snapshot — replayed through the new updater
+  /// at the swap. Serving-thread only.
+  std::vector<Fact> refresh_replay_facts_;
+  /// Monitor observations since the snapshot — replayed into the reset
+  /// monitor at the swap. Serving-thread only.
+  std::vector<MonitorObservation> refresh_replay_observations_;
+
   BuildReport report_;
   double static_threshold_ = 1.0;
   double temporal_threshold_ = 1.0;

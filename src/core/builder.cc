@@ -53,12 +53,16 @@ RuleGraphBuilder::RuleGraphBuilder(const TemporalKnowledgeGraph& graph,
       options_(options),
       num_threads_(ResolveNumThreads(num_threads)) {}
 
-RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
+RuleGraphBuilder::Output RuleGraphBuilder::Build(
+    const std::atomic<bool>* cancel) const {
   WallTimer timer;
   Output out;
   out.rule_graph = std::make_unique<RuleGraph>();
   BuildReport& report = out.report;
   report.num_categories = categories_.num_categories();
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
 
   // One worker pool serves candidate generation and candidate costing.
   std::unique_ptr<ThreadPool> workers;
@@ -68,6 +72,7 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
   CandidatePool pool = generator.Generate(workers.get());
   report.num_candidate_rules = pool.rules.size();
   report.num_candidate_edges = pool.edges.size();
+  if (cancelled()) return out;
 
   // ---- Cost constants per candidate --------------------------------------
   MdlUniverse universe;
@@ -113,6 +118,7 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
     }
   });
   workers.reset();
+  if (cancelled()) return out;
 
   // ---- Negative-error ledger ----------------------------------------------
   const double tier1 = universe.num_entities * universe.num_entities *
@@ -181,7 +187,7 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
   double assertion_bits = 0.0;
 
   bool changed = true;
-  while (changed) {
+  while (changed && !cancelled()) {
     changed = false;
     for (uint32_t idx : rule_order) {
       if (rule_selected[idx]) continue;
@@ -209,11 +215,13 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
     }
   }
 
+  if (cancelled()) return out;
+
   // ---- Greedy selection: edges ---------------------------------------------
   std::vector<uint32_t> edge_order;
   rank_edges(&edge_order);
   changed = true;
-  while (changed) {
+  while (changed && !cancelled()) {
     changed = false;
     for (uint32_t idx : edge_order) {
       if (edge_selected[idx]) continue;
@@ -242,6 +250,8 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build() const {
       }
     }
   }
+
+  if (cancelled()) return out;
 
   // ---- Materialize the rule graph ------------------------------------------
   RuleGraph& rg = *out.rule_graph;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "core/candidates.h"
@@ -57,7 +58,12 @@ class RuleGraphBuilder {
   };
 
   /// Runs candidate generation + selection end to end.
-  Output Build() const;
+  ///
+  /// `cancel` (optional) is polled between the pipeline stages (coarse
+  /// granularity: generation, costing, each greedy pass); an abandoned
+  /// background rebuild sets it to stop burning CPU. Once it reads true
+  /// the returned output is INCOMPLETE and must be discarded.
+  Output Build(const std::atomic<bool>* cancel = nullptr) const;
 
  private:
   const TemporalKnowledgeGraph& graph_;

@@ -32,6 +32,12 @@ void Monitor::Observe(Timestamp t, bool mapped, bool associated) {
 
 void Monitor::Flush() { CloseBucket(); }
 
+void Monitor::Replay(const std::vector<MonitorObservation>& observations) {
+  for (const MonitorObservation& o : observations) {
+    Observe(o.time, o.mapped, o.associated);
+  }
+}
+
 bool Monitor::ShouldRefresh() const {
   double pending = online_bits_;
   size_t pending_ts = online_timestamps_;

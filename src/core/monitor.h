@@ -1,10 +1,22 @@
 #pragma once
 
+#include <vector>
+
 #include "core/options.h"
 #include "mdl/ledger.h"
 #include "tkg/types.h"
 
 namespace anot {
+
+/// \brief One recorded Observe call: the unit of the monitor handoff the
+/// asynchronous refresh swap performs (observations made between the
+/// snapshot and the swap are replayed into the reset monitor so the
+/// in-flight accounting window is not lost).
+struct MonitorObservation {
+  Timestamp time = kNoTimestamp;
+  bool mapped = false;
+  bool associated = false;
+};
 
 /// \brief Rule-graph availability monitor (§4.5, Eq. 11).
 ///
@@ -37,6 +49,12 @@ class Monitor {
   /// Resets the online accumulation after a refresh, adopting the new
   /// training budget.
   void Reset(double training_negative_bits, size_t training_timestamps);
+
+  /// Feeds recorded observations in order (the async-swap handoff: Reset
+  /// to the new budget, then Replay the window observed since the
+  /// snapshot). Equivalent to calling Observe per entry; the final bucket
+  /// is left open exactly as live observation would.
+  void Replay(const std::vector<MonitorObservation>& observations);
 
  private:
   void CloseBucket();

@@ -91,6 +91,13 @@ struct UpdaterOptions {
   /// A recurring unseen pattern becomes a new rule node once its online
   /// support reaches this count and the marginal MDL test passes.
   size_t new_rule_min_support = 3;
+
+  /// Cap on the not-yet-admitted pattern table. Anomaly-heavy streams mint
+  /// unbounded never-admitted candidates (every unseen (C(s), r, C(o))
+  /// combination opens an entry); past the cap the least-recently-touched
+  /// candidate is evicted, bounding memory at the cost of forgetting
+  /// support that accrues slower than the eviction horizon.
+  size_t max_pending_rules = 65536;
 };
 
 /// \brief Monitor knobs (§4.5; Eq. 11).

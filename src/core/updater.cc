@@ -1,5 +1,6 @@
 #include "core/updater.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -35,6 +36,29 @@ bool Updater::ShouldAdmitRule(const AtomicRule& rule,
          approx_rule_cost;
 }
 
+uint32_t Updater::TouchPendingRule(const AtomicRule& rule) {
+  auto it = pending_rules_.find(rule);
+  if (it != pending_rules_.end()) {
+    pending_lru_.splice(pending_lru_.begin(), pending_lru_, it->second.lru);
+    return ++it->second.support;
+  }
+  if (pending_rules_.size() >= std::max<size_t>(1, options_.max_pending_rules)) {
+    const AtomicRule& coldest = pending_lru_.back();
+    pending_rules_.erase(coldest);
+    pending_lru_.pop_back();
+  }
+  pending_lru_.push_front(rule);
+  pending_rules_.emplace(rule, PendingRule{1, pending_lru_.begin()});
+  return 1;
+}
+
+void Updater::ErasePendingRule(const AtomicRule& rule) {
+  auto it = pending_rules_.find(rule);
+  if (it == pending_rules_.end()) return;
+  pending_lru_.erase(it->second.lru);
+  pending_rules_.erase(it);
+}
+
 UpdateEffects Updater::Ingest(const Fact& fact) {
   UpdateEffects effects;
   effects.facts_ingested = 1;
@@ -49,7 +73,7 @@ UpdateEffects Updater::Ingest(const Fact& fact) {
       graph_->RelationTokens(fact.object).count(o_token) == 0;
 
   // ---- Graph structure changes (Alg. 3 line 3) ------------------------------
-  graph_->AddFact(fact);
+  const FactId added_fact = graph_->AddFact(fact);
   effects.added_fact = true;
 
   if (new_s_token) {
@@ -77,9 +101,9 @@ UpdateEffects Updater::Ingest(const Fact& fact) {
         rules_->AddSupport(*existing, 1);
         continue;
       }
-      const uint32_t support = ++pending_rules_[rule];
+      const uint32_t support = TouchPendingRule(rule);
       if (!ShouldAdmitRule(rule, support)) continue;
-      pending_rules_.erase(rule);
+      ErasePendingRule(rule);
       const RuleId added = rules_->AddRule(rule, /*static_selected=*/true);
       rules_->SetSupport(added, support);
       ++effects.new_rule_nodes;
@@ -91,18 +115,33 @@ UpdateEffects Updater::Ingest(const Fact& fact) {
       if (seq == nullptr) continue;
       const Timestamp tail_time =
           AnchorTime(fact, detector_options_->tail_anchor);
+      // The pair sequence is sorted by (start time, id), so the head gap
+      // grows monotonically along the backward scan only when the head
+      // anchor is the sort key — always true on point graphs (start ==
+      // end), and for kStart anchors on duration graphs. An end-anchored
+      // head on a duration graph is not monotone (a long-running earlier
+      // fact can end nearer the tail than a later short one), so the scan
+      // must cover the full window instead of stopping at the first
+      // out-of-tolerance gap.
+      const bool gap_monotone =
+          !graph_->has_durations() ||
+          detector_options_->head_anchor == TimeAnchor::kStart;
       size_t scanned = 0;
       for (auto it = seq->rbegin();
            it != seq->rend() &&
            scanned < detector_options_->max_instantiation_scan;
            ++it, ++scanned) {
+        // Skip the instance just appended — but not genuinely distinct
+        // earlier occurrences of an identical fact, which are real
+        // precursors of a recurring pattern.
+        if (*it == added_fact) continue;
         const Fact& prev = graph_->fact(*it);
-        if (prev == fact) continue;
         const Timestamp head_time =
             AnchorTime(prev, detector_options_->head_anchor);
         if (head_time > tail_time) continue;
         if (tail_time - head_time > detector_options_->timespan_tolerance) {
-          break;  // sequence is time-sorted: older facts only get farther
+          if (gap_monotone) break;  // older facts only get farther
+          continue;
         }
         const AtomicRule prev_rule{cs, prev.relation, co};
         auto head_id = rules_->FindRule(prev_rule);

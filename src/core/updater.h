@@ -1,5 +1,6 @@
 #pragma once
 
+#include <list>
 #include <unordered_map>
 
 #include "core/options.h"
@@ -51,9 +52,19 @@ class Updater {
   /// Algorithm 3 for one piece of new valid knowledge.
   UpdateEffects Ingest(const Fact& fact);
 
+  /// Number of patterns currently tracked but not yet admitted. Bounded by
+  /// UpdaterOptions::max_pending_rules (diagnostics / tests).
+  size_t pending_rule_count() const { return pending_rules_.size(); }
+
  private:
   /// Marginal MDL admission test for a recurring unseen pattern.
   bool ShouldAdmitRule(const AtomicRule& rule, uint32_t online_support) const;
+
+  /// Bumps (or opens) the pending-support entry for `rule` and returns the
+  /// new support count, evicting the least-recently-touched entry when the
+  /// table would exceed max_pending_rules.
+  uint32_t TouchPendingRule(const AtomicRule& rule);
+  void ErasePendingRule(const AtomicRule& rule);
 
   TemporalKnowledgeGraph* graph_;
   CategoryFunction* categories_;
@@ -61,8 +72,15 @@ class Updater {
   const DetectorOptions* detector_options_;
   UpdaterOptions options_;
   Scorer scorer_;
-  /// Online support counts of patterns not (yet) in the rule graph.
-  std::unordered_map<AtomicRule, uint32_t, AtomicRuleHash> pending_rules_;
+  /// Online support counts of patterns not (yet) in the rule graph, with
+  /// an LRU eviction order (front = most recently touched). Deterministic:
+  /// the updater is serial, so touch order is the ingest order.
+  struct PendingRule {
+    uint32_t support = 0;
+    std::list<AtomicRule>::iterator lru;
+  };
+  std::unordered_map<AtomicRule, PendingRule, AtomicRuleHash> pending_rules_;
+  std::list<AtomicRule> pending_lru_;
 };
 
 }  // namespace anot

@@ -17,7 +17,8 @@ struct TaskExamples {
 };
 
 TaskExamples ScoreStream(const EvalStream& stream, AnomalyModel* model,
-                         bool observe_valid, size_t batch_size) {
+                         bool observe_valid, size_t batch_size,
+                         std::vector<double>* latencies_us = nullptr) {
   TaskExamples out;
   out.conceptual.reserve(stream.arrivals.size());
   out.time.reserve(stream.arrivals.size());
@@ -30,9 +31,13 @@ TaskExamples ScoreStream(const EvalStream& stream, AnomalyModel* model,
             {s.conceptual, lf.label == AnomalyType::kConceptual});
         // Time task: time anomalies vs everything else arriving.
         out.time.push_back({s.time, lf.label == AnomalyType::kTime});
-      });
+      },
+      latencies_us);
   // Missing candidates never feed back into the model: with observe_valid
-  // off the same helper degenerates to plain fixed-size chunks.
+  // off the same helper degenerates to plain fixed-size chunks. Their
+  // score-only cost is excluded from the per-arrival latency samples —
+  // mixing them in would dilute the arrival tail the stats exist to
+  // expose.
   out.missing.reserve(stream.missing_candidates.size());
   ForEachScoredArrival(
       stream.missing_candidates, model, /*observe_valid=*/false, batch_size,
@@ -42,6 +47,14 @@ TaskExamples ScoreStream(const EvalStream& stream, AnomalyModel* model,
              stream.missing_candidates[i].label == AnomalyType::kMissing});
       });
   return out;
+}
+
+/// Nearest-rank percentile (p in [0, 1]) of an already-sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(rank + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
 }
 
 TaskResult Evaluate(const std::vector<ScoredExample>& val,
@@ -62,7 +75,8 @@ void ForEachScoredArrival(
     const std::vector<LabeledFact>& arrivals, AnomalyModel* model,
     bool observe_valid, size_t batch_size,
     const std::function<void(size_t, const AnomalyModel::TaskScores&)>&
-        visit) {
+        visit,
+    std::vector<double>* latencies_us) {
   const size_t cap = std::max<size_t>(1, batch_size);
   std::vector<Fact> batch;
   batch.reserve(cap);
@@ -83,13 +97,31 @@ void ForEachScoredArrival(
         break;
       }
     }
+    WallTimer score_timer;
     const std::vector<AnomalyModel::TaskScores> scores =
         model->ScoreBatch(batch);
+    const double score_us = score_timer.ElapsedSeconds() * 1e6;
     ANOT_CHECK(scores.size() == batch.size());
     for (size_t k = 0; k < batch.size(); ++k) visit(begin + k, scores[k]);
+    if (latencies_us != nullptr) {
+      // Attribute the batch's scoring wall-clock evenly across its facts.
+      const double per_fact_us =
+          score_us / static_cast<double>(batch.size());
+      for (size_t k = 0; k < batch.size(); ++k) {
+        latencies_us->push_back(per_fact_us);
+      }
+    }
     // The boundary fact was scored against the pre-ingest state (exactly
     // as in the sequential loop, where Score precedes ObserveValid).
-    if (ends_with_ingest) model->ObserveValid(arrivals[i - 1].fact);
+    if (ends_with_ingest) {
+      WallTimer ingest_timer;
+      model->ObserveValid(arrivals[i - 1].fact);
+      if (latencies_us != nullptr) {
+        // The ingest — and any refresh stall behind it — is latency the
+        // boundary arrival paid.
+        latencies_us->back() += ingest_timer.ElapsedSeconds() * 1e6;
+      }
+    }
   }
 }
 
@@ -120,14 +152,22 @@ EvalResult RunProtocol(const TemporalKnowledgeGraph& full,
   AnomalyInjector test_inj(options.injector);
   EvalStream test_stream = test_inj.Inject(full, split.test);
   WallTimer test_timer;
-  TaskExamples test_examples = ScoreStream(
-      test_stream, model, options.observe_valid, result.score_batch_size);
+  std::vector<double> latencies_us;
+  TaskExamples test_examples =
+      ScoreStream(test_stream, model, options.observe_valid,
+                  result.score_batch_size, &latencies_us);
   result.test_seconds = test_timer.ElapsedSeconds();
   const size_t scored =
       test_stream.arrivals.size() + test_stream.missing_candidates.size();
   result.throughput = result.test_seconds > 0
                           ? static_cast<double>(scored) / result.test_seconds
                           : 0.0;
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    result.latency_p50_us = Percentile(latencies_us, 0.50);
+    result.latency_p99_us = Percentile(latencies_us, 0.99);
+    result.latency_max_us = latencies_us.back();
+  }
 
   result.conceptual = Evaluate(val_examples.conceptual,
                                test_examples.conceptual, options.beta);

@@ -36,6 +36,15 @@ struct EvalResult {
   double throughput = 0.0;
   /// Micro-batch cap the stream was scored with (1 = sequential).
   size_t score_batch_size = 1;
+  /// Per-arrival latency over the test window, microseconds. Scoring cost
+  /// is attributed as batch wall-clock / batch size; an ObserveValid
+  /// ingest (and any refresh stall it triggers) is charged to the
+  /// boundary arrival that paid it, so p99/max expose serving stalls that
+  /// throughput averages away — the number the async refresh mode exists
+  /// to flatten.
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+  double latency_max_us = 0.0;
 };
 
 /// \brief The paper's evaluation protocol (§5.1-5.2): 60/10/30 timestamp
@@ -64,11 +73,14 @@ struct ProtocolOptions {
 /// `visit(index, scores)` for every arrival in order. The building block
 /// of RunProtocol's stream scoring, exposed for harnesses that bucket or
 /// aggregate scores themselves (e.g. the Figure 6 updater experiment).
+/// When `latencies_us` is non-null, one per-arrival latency sample (see
+/// EvalResult) is appended per arrival, in order.
 void ForEachScoredArrival(
     const std::vector<LabeledFact>& arrivals, AnomalyModel* model,
     bool observe_valid, size_t batch_size,
     const std::function<void(size_t, const AnomalyModel::TaskScores&)>&
-        visit);
+        visit,
+    std::vector<double>* latencies_us = nullptr);
 
 /// Runs the protocol for one model over an already generated full TKG.
 EvalResult RunProtocol(const TemporalKnowledgeGraph& full,

@@ -68,4 +68,19 @@ std::string Reporter::RenderComparison(
   return out;
 }
 
+std::string Reporter::RenderTiming(const std::vector<EvalResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& r : results) {
+    rows.push_back({r.dataset, r.model, FormatDouble(r.fit_seconds, 2),
+                    FormatDouble(r.test_seconds, 2),
+                    FormatDouble(r.throughput, 0),
+                    FormatDouble(r.latency_p50_us, 1),
+                    FormatDouble(r.latency_p99_us, 1),
+                    FormatDouble(r.latency_max_us, 1)});
+  }
+  return RenderTable({"dataset", "model", "fit_s", "test_s", "samples/s",
+                      "p50_us", "p99_us", "max_us"},
+                     rows);
+}
+
 }  // namespace anot

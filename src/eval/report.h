@@ -15,6 +15,10 @@ class Reporter {
   static std::string RenderComparison(
       const std::vector<EvalResult>& results);
 
+  /// Serving-cost block: fit/test wall-clock, throughput and the
+  /// per-arrival latency tail (p50/p99/max, test window) per run.
+  static std::string RenderTiming(const std::vector<EvalResult>& results);
+
   /// Simple aligned table given header + rows.
   static std::string RenderTable(
       const std::vector<std::string>& header,

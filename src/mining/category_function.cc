@@ -66,10 +66,14 @@ uint64_t TokenSetKey(const std::vector<uint32_t>& tokens) {
 
 CategoryFunction CategoryFunction::Build(
     const TemporalKnowledgeGraph& graph,
-    const CategoryFunctionOptions& options, ThreadPool* workers) {
+    const CategoryFunctionOptions& options, ThreadPool* workers,
+    const std::atomic<bool>* cancel) {
   CategoryFunction fn;
   fn.options_ = options;
   fn.entity_categories_.resize(graph.num_entities());
+  const auto cancelled = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
 
   // 1. Transactions: each entity's directed relation token set. Entities
   // are independent, so the token pass shards trivially.
@@ -84,6 +88,8 @@ CategoryFunction CategoryFunction::Build(
       std::sort(transactions[e].begin(), transactions[e].end());
     }
   });
+
+  if (cancelled()) return fn;
 
   // 2. Frequent relation combinations via PrefixSpan.
   PrefixSpan::Options ps;
@@ -124,7 +130,8 @@ CategoryFunction CategoryFunction::Build(
   // the proposal buffers at the sequential loop's O(unique keys) instead
   // of O(qualifying pairs)). The surviving `added` list is bit-identical
   // for every worker count.
-  for (size_t round = 0; round < options.max_aggregation_rounds; ++round) {
+  for (size_t round = 0;
+       round < options.max_aggregation_rounds && !cancelled(); ++round) {
     const size_t n = combos.size();
     const size_t num_shards = DeterministicShardCount(n);
     std::vector<std::vector<std::pair<uint64_t, ComboCandidate>>> proposals(
@@ -190,6 +197,8 @@ CategoryFunction CategoryFunction::Build(
     for (auto& c : added) combos.push_back(std::move(c));
     if (combos.size() > 4 * options.max_aggregation_candidates) break;
   }
+
+  if (cancelled()) return fn;
 
   // 4. Selection: descending coverage, assign until each entity carries
   // up to k categories (paper: "select one by one until each entity has

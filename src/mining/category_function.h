@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,9 +51,14 @@ class CategoryFunction {
   /// (deterministic shard boundaries, merges replayed in scan order), so
   /// the result is bit-identical for every pool size including nullptr —
   /// the same contract as the candidate-generation pipeline.
+  ///
+  /// `cancel` (optional) is polled between phases — an abandoned
+  /// background rebuild sets it to stop burning CPU. Once it reads true
+  /// the returned function is INCOMPLETE and must be discarded.
   static CategoryFunction Build(const TemporalKnowledgeGraph& graph,
                                 const CategoryFunctionOptions& options,
-                                ThreadPool* workers = nullptr);
+                                ThreadPool* workers = nullptr,
+                                const std::atomic<bool>* cancel = nullptr);
 
   /// Categories of entity e (ascending ids; empty for unseen entities).
   const std::vector<CategoryId>& Categories(EntityId e) const;

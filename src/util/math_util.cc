@@ -16,7 +16,15 @@ double Log2(double x) {
 
 double Log2Factorial(double n) {
   if (n <= 1.0) return 0.0;
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // std::lgamma writes the global `signgam` — a data race when pool
+  // workers (or the background rebuild) price costs concurrently. The
+  // reentrant variant returns the identical value for positive inputs.
+  int sign = 0;
+  return ::lgamma_r(n + 1.0, &sign) / kLn2;
+#else
   return std::lgamma(n + 1.0) / kLn2;
+#endif
 }
 
 double Log2Binomial(double a, double b) {

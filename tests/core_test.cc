@@ -467,6 +467,98 @@ TEST_F(CoreFixture, IngestRecordsTimespansOnInstantiatedEdges) {
   EXPECT_GT(recorded, 0u);
 }
 
+TEST_F(CoreFixture, RepeatedIdenticalFactWiresChainEdges) {
+  // Regression: the chain-edge scan used to skip *every* fact equal to
+  // the new arrival, so a recurring identical fact (same s, r, o, t
+  // re-reported) never wired chain edges when its pattern was admitted.
+  // Only the just-appended instance may be skipped.
+  AnoTOptions options;
+  options.detector = TestDetectorOptions();
+  options.updater.new_rule_min_support = 3;
+  AnoT local = AnoT::Build(*train_, options);
+
+  const RelationId fresh_rel =
+      static_cast<RelationId>(local.graph().num_relations());
+  const Fact dup(0, fresh_rel, 1, local.graph().max_time() + 1);
+  UpdateEffects total;
+  for (int i = 0; i < 3; ++i) total.Accumulate(local.IngestValid(dup));
+  EXPECT_GT(total.new_rule_nodes, 0u);
+  EXPECT_GT(total.new_rule_edges, 0u)
+      << "distinct earlier occurrences of an identical fact are real "
+         "precursors and must wire chain edges";
+}
+
+TEST(UpdaterDurationTest, EndAnchoredChainScanCoversFullWindow) {
+  // Regression: the chain-edge scan `break`s at the first pair whose head
+  // gap exceeds the tolerance. The pair sequence is sorted by *start*
+  // time, so with an end-anchored head on a duration TKG the gap is not
+  // monotone: a long-running earlier fact can end nearer the tail than a
+  // later short one, and the break skipped it.
+  TemporalKnowledgeGraph g;
+  // Pair (0, 10): a long-runner starting early but ending near t=120, and
+  // a later short fact ending far from it. Sorted by start time the short
+  // fact is scanned first and is out of tolerance.
+  g.AddFact(Fact(0, 0, 10, 90, 118));   // end within tolerance of 120
+  g.AddFact(Fact(0, 0, 10, 100, 100));  // end 20 ticks before 120
+  // Category support: three more subjects/objects sharing relation 0.
+  for (EntityId i = 1; i < 4; ++i) {
+    g.AddFact(Fact(i, 0, 10 + i, 80 + static_cast<Timestamp>(i),
+                   80 + static_cast<Timestamp>(i)));
+  }
+
+  CategoryFunctionOptions copts;
+  copts.min_support = 3;
+  auto categories = CategoryFunction::Build(g, copts);
+  ASSERT_FALSE(categories.Categories(0).empty());
+  ASSERT_FALSE(categories.Categories(10).empty());
+  const CategoryId cs = categories.Categories(0).front();
+  const CategoryId co = categories.Categories(10).front();
+
+  RuleGraph rules;
+  const RuleId head = rules.AddRule(AtomicRule{cs, 0, co},
+                                    /*static_selected=*/true);
+  rules.SetSupport(head, 5);
+
+  DetectorOptions dopts;
+  dopts.head_anchor = TimeAnchor::kEnd;
+  dopts.tail_anchor = TimeAnchor::kStart;
+  dopts.timespan_tolerance = 5;
+  UpdaterOptions uopts;
+  uopts.new_rule_min_support = 3;
+  Updater updater(&g, &categories, &rules, &dopts, uopts);
+
+  // Two support-building ingests on sibling pairs, then the admitting
+  // ingest on (0, 10) whose chain scan must reach past the short fact to
+  // the long-runner (end 118, gap 2 <= 5) and wire an edge to `head`.
+  const RelationId fresh_rel = 1;
+  updater.Ingest(Fact(1, fresh_rel, 11, 119));
+  updater.Ingest(Fact(2, fresh_rel, 12, 119));
+  const UpdateEffects effects = updater.Ingest(Fact(0, fresh_rel, 10, 120));
+  EXPECT_GT(effects.new_rule_nodes, 0u);
+  EXPECT_GT(effects.new_rule_edges, 0u)
+      << "end-anchored scan stopped at the first out-of-tolerance start";
+}
+
+TEST_F(CoreFixture, PendingRuleTableStaysBounded) {
+  // A hostile stream minting a fresh, never-repeating pattern per arrival
+  // must not grow the pending-candidate table without bound.
+  AnoTOptions options;
+  options.detector = TestDetectorOptions();
+  options.updater.max_pending_rules = 64;
+  AnoT local = AnoT::Build(*train_, options);
+
+  const RelationId base_rel =
+      static_cast<RelationId>(local.graph().num_relations());
+  const Timestamp t0 = local.graph().max_time() + 1;
+  for (uint32_t i = 0; i < 500; ++i) {
+    const EntityId s = static_cast<EntityId>((2 * i) % 200);
+    const EntityId o = static_cast<EntityId>((2 * i + 1) % 200);
+    local.IngestValid(Fact(s, base_rel + i, o, t0 + i));
+    ASSERT_LE(local.updater().pending_rule_count(), 64u) << "arrival " << i;
+  }
+  EXPECT_GT(local.updater().pending_rule_count(), 0u);
+}
+
 TEST_F(CoreFixture, UpdaterImprovesScoresOnNewPatterns) {
   // Without the updater the fresh relation stays maximally anomalous;
   // with it the pattern is learned.
@@ -535,6 +627,75 @@ TEST(MonitorTest, ResetAdoptsNewBudget) {
   monitor.Reset(1e9, 1);
   EXPECT_FALSE(monitor.ShouldRefresh());
   EXPECT_DOUBLE_EQ(monitor.online_negative_bits(), 0.0);
+}
+
+TEST(MonitorTest, PerTimestampSlackScalesTheFiringThreshold) {
+  // Training mean: 10 bits/timestamp. One bad tick costs ~2 log2(1e8)
+  // ≈ 53 bits: above the mean at slack 1, far below it at slack 1000.
+  MonitorOptions tight_opts;
+  tight_opts.mode = MonitorOptions::Mode::kPerTimestamp;
+  tight_opts.slack = 1.0;
+  MonitorOptions loose_opts = tight_opts;
+  loose_opts.slack = 1000.0;
+  Monitor tight(100.0, 10, 1e8, 1e3, tight_opts);
+  Monitor loose(100.0, 10, 1e8, 1e3, loose_opts);
+  for (int i = 0; i < 2; ++i) {
+    tight.Observe(0, false, false);
+    loose.Observe(0, false, false);
+  }
+  tight.Flush();
+  loose.Flush();
+  EXPECT_TRUE(tight.ShouldRefresh());
+  EXPECT_FALSE(loose.ShouldRefresh());
+}
+
+TEST(MonitorTest, ShouldRefreshPricesThePendingOpenBucket) {
+  // Facts stream within a single timestamp: the bucket is still open, so
+  // nothing is priced into the accumulators yet — but ShouldRefresh must
+  // already see the pending cost, or a single-timestamp burst could never
+  // fire the monitor.
+  MonitorOptions mopts;
+  Monitor monitor(1.0, 1, 1e8, 1e3, mopts);
+  for (int i = 0; i < 5; ++i) monitor.Observe(7, false, false);
+  EXPECT_DOUBLE_EQ(monitor.online_negative_bits(), 0.0);
+  EXPECT_EQ(monitor.online_timestamps(), 0u);
+  EXPECT_TRUE(monitor.ShouldRefresh());
+  monitor.Flush();
+  EXPECT_GT(monitor.online_negative_bits(), 1.0);
+  EXPECT_EQ(monitor.online_timestamps(), 1u);
+  EXPECT_TRUE(monitor.ShouldRefresh());
+}
+
+TEST(MonitorTest, ResetPlusReplayEqualsFreshMonitor) {
+  // The async swap's handoff: Reset to the new budget, Replay the window
+  // observed since the snapshot. Must be bit-identical to a fresh monitor
+  // that lived through the same window — including the still-open bucket.
+  const std::vector<MonitorObservation> window = {
+      {100, false, false}, {100, true, false},  {101, true, true},
+      {101, false, false}, {102, false, false},
+  };
+  MonitorOptions mopts;
+  Monitor live(50.0, 5, 1e8, 1e3, mopts);
+  for (Timestamp t = 0; t < 4; ++t) live.Observe(t, false, false);
+
+  live.Reset(123.0, 7);
+  live.Replay(window);
+  Monitor fresh(123.0, 7, 1e8, 1e3, mopts);
+  for (const MonitorObservation& o : window) {
+    fresh.Observe(o.time, o.mapped, o.associated);
+  }
+  EXPECT_EQ(live.online_negative_bits(), fresh.online_negative_bits());
+  EXPECT_EQ(live.online_timestamps(), fresh.online_timestamps());
+  EXPECT_EQ(live.ShouldRefresh(), fresh.ShouldRefresh());
+
+  // The replayed bucket at t=102 is still open: further observations at
+  // the same timestamp merge into it on both monitors.
+  live.Observe(102, true, true);
+  fresh.Observe(102, true, true);
+  live.Flush();
+  fresh.Flush();
+  EXPECT_EQ(live.online_negative_bits(), fresh.online_negative_bits());
+  EXPECT_EQ(live.online_timestamps(), fresh.online_timestamps());
 }
 
 TEST_F(CoreFixture, ProcessArrivalFeedsMonitorAndAutoRefreshes) {

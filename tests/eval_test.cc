@@ -219,6 +219,11 @@ TEST(ProtocolTest, MetricsIdenticalWithMicroBatchingOnAndOff) {
     EXPECT_EQ(off.missing.f_beta, on.missing.f_beta) << threads;
     EXPECT_GT(on.throughput, 0.0);
     EXPECT_GT(on.test_seconds, 0.0);
+    // Per-arrival latency tail is captured over the same window and is
+    // internally consistent: p50 <= p99 <= max.
+    EXPECT_GT(on.latency_p50_us, 0.0);
+    EXPECT_LE(on.latency_p50_us, on.latency_p99_us);
+    EXPECT_LE(on.latency_p99_us, on.latency_max_us);
   }
 }
 

@@ -18,6 +18,7 @@
 #include "anomaly/injector.h"
 #include "core/anot.h"
 #include "datagen/generator.h"
+#include "serving_test_util.h"
 #include "tkg/split.h"
 
 namespace anot {
@@ -45,34 +46,6 @@ AnoTOptions OnlineOptions(size_t num_threads) {
   options.detector.max_recursion_steps = 2;
   options.num_threads = num_threads;
   return options;
-}
-
-/// Thread counts every equivalence case runs at. When ANOT_THREADS is set
-/// (CI's serial/contended double run) it *selects* the schedule — {1} for
-/// a pure serial pass, {1, N} otherwise, so the env value genuinely
-/// changes what runs; unset falls back to the full {1, 2, 4} sweep.
-std::vector<size_t> ThreadCountsUnderTest() {
-  const char* raw = std::getenv("ANOT_THREADS");
-  if (raw != nullptr && *raw != '\0') {
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(raw, &end, 10);
-    if (end != raw && *raw != '-' && value > 0 && value <= 64) {
-      if (value == 1) return {1};
-      return {1, static_cast<size_t>(value)};
-    }
-  }
-  return {1, 2, 4};
-}
-
-void ExpectScoresIdentical(const Scores& a, const Scores& b, size_t i) {
-  ASSERT_EQ(a.static_score, b.static_score) << "fact " << i;
-  ASSERT_EQ(a.temporal_score, b.temporal_score) << "fact " << i;
-  ASSERT_EQ(a.static_support, b.static_support) << "fact " << i;
-  ASSERT_EQ(a.temporal_support, b.temporal_support) << "fact " << i;
-  ASSERT_EQ(a.temporal_conflict, b.temporal_conflict) << "fact " << i;
-  ASSERT_EQ(a.out_violations, b.out_violations) << "fact " << i;
-  ASSERT_EQ(a.temporal_evaluated, b.temporal_evaluated) << "fact " << i;
-  ASSERT_EQ(a.associated, b.associated) << "fact " << i;
 }
 
 /// What the sequential loop left behind, for exact comparison.

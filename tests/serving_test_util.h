@@ -1,0 +1,49 @@
+// Helpers shared by the serving-path equivalence suites (online_test,
+// refresh_async_test): the ANOT_THREADS schedule convention and the
+// exact, field-complete Scores comparison. Kept in one place so a new
+// score component or a change to the thread-sweep convention updates
+// every suite in lockstep.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "core/scorer.h"
+
+namespace anot {
+
+/// Thread counts every equivalence case runs at. When ANOT_THREADS is set
+/// (CI's serial/contended double run) it *selects* the schedule — {1} for
+/// a pure serial pass, {1, N} otherwise, so the env value genuinely
+/// changes what runs; unset falls back to `fallback`.
+inline std::vector<size_t> ThreadCountsUnderTest(
+    std::vector<size_t> fallback = {1, 2, 4}) {
+  const char* raw = std::getenv("ANOT_THREADS");
+  if (raw != nullptr && *raw != '\0') {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(raw, &end, 10);
+    if (end != raw && *raw != '-' && value > 0 && value <= 64) {
+      if (value == 1) return {1};
+      return {1, static_cast<size_t>(value)};
+    }
+  }
+  return fallback;
+}
+
+/// Bitwise comparison of every Scores field (EXPECT_EQ on doubles: the
+/// equivalence contracts are exact, not approximate).
+inline void ExpectScoresIdentical(const Scores& a, const Scores& b,
+                                  size_t i) {
+  ASSERT_EQ(a.static_score, b.static_score) << "fact " << i;
+  ASSERT_EQ(a.temporal_score, b.temporal_score) << "fact " << i;
+  ASSERT_EQ(a.static_support, b.static_support) << "fact " << i;
+  ASSERT_EQ(a.temporal_support, b.temporal_support) << "fact " << i;
+  ASSERT_EQ(a.temporal_conflict, b.temporal_conflict) << "fact " << i;
+  ASSERT_EQ(a.out_violations, b.out_violations) << "fact " << i;
+  ASSERT_EQ(a.temporal_evaluated, b.temporal_evaluated) << "fact " << i;
+  ASSERT_EQ(a.associated, b.associated) << "fact " << i;
+}
+
+}  // namespace anot
