@@ -148,6 +148,46 @@ BENCHMARK(BM_RuleGraphBuild)
     ->ArgsProduct({{3000, 12000}, {1, 2, 4}})
     ->ArgNames({"facts", "threads"});
 
+// Offline build with the greedy-selection strategy as the axis:
+// speculative Δ-evaluation (the default; parallel per-sweep candidate
+// deltas + serial rank-order admission) vs the reference serial loop, at
+// 1/4 worker threads. Selection is bit-identical across strategies and
+// thread counts, so rows are directly comparable; every row first
+// verifies that identity against a 1-thread serial-loop reference (the
+// same equivalence gate BM_ProcessArrivalBatch uses) and fails the
+// benchmark if the paths ever disagree.
+void BM_GreedySelection(benchmark::State& state) {
+  SyntheticGenerator gen(BenchWorld(3000));
+  auto graph = gen.Generate();
+  AnoTOptions options;
+  options.detector.timespan_tolerance = 10;
+  options.detector.speculative_selection = state.range(0) != 0;
+  options.num_threads = static_cast<size_t>(state.range(1));
+
+  AnoTOptions reference_options = options;
+  reference_options.detector.speculative_selection = false;
+  reference_options.num_threads = 1;
+  AnoT reference = AnoT::Build(*graph, reference_options);
+  AnoT candidate = AnoT::Build(*graph, options);
+  if (reference.rules().num_rules() != candidate.rules().num_rules() ||
+      reference.rules().num_edges() != candidate.rules().num_edges() ||
+      reference.report().total_bits() != candidate.report().total_bits()) {
+    state.SkipWithError(
+        "speculative and serial-loop selection disagree; timings are "
+        "meaningless");
+    return;
+  }
+
+  for (auto _ : state) {
+    AnoT system = AnoT::Build(*graph, options);
+    benchmark::DoNotOptimize(system.rules().num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * graph->num_facts());
+}
+BENCHMARK(BM_GreedySelection)
+    ->ArgsProduct({{0, 1}, {1, 4}})
+    ->ArgNames({"speculative", "threads"});
+
 // Four-view duration ensemble build (§4.7): views parallelize across the
 // pool on top of the sharded per-view pipeline.
 void BM_DurationFourViewBuild(benchmark::State& state) {

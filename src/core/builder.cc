@@ -87,8 +87,9 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
   std::vector<double> relation_counts(graph_.num_relations(), 0.0);
   for (const Fact& f : graph_.facts()) relation_counts[f.relation] += 1.0;
 
-  // Candidate costs are independent per candidate (each task writes only
-  // its own slots), so the fill parallelizes without affecting the result.
+  // Candidate costs and delta histograms are independent per candidate
+  // (each task writes only its own slots), so the fill parallelizes
+  // without affecting the result.
   ParallelForShards(workers.get(), pool.rules.size(),
                     DeterministicShardCount(pool.rules.size()),
                     [&](size_t /*shard*/, size_t begin, size_t end) {
@@ -105,6 +106,7 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
                                     relation_counts[c.rule.relation]);
       c.assertion_bits =
           c.subject_entropy.TotalBits() + c.object_entropy.TotalBits();
+      c.by_time = BuildDeltaHistogram(graph_, c.assertions);
     }
   });
   ParallelForShards(workers.get(), pool.edges.size(),
@@ -115,9 +117,9 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
       e.model_bits =
           RuleEdgeBits(universe, e.kind == RuleEdgeKind::kTriadic);
       e.assertion_bits = e.timespan_entropy.TotalBits();
+      e.by_time = BuildDeltaHistogram(graph_, e.tail_facts);
     }
   });
-  workers.reset();
   if (cancelled()) return out;
 
   // ---- Negative-error ledger ----------------------------------------------
@@ -175,82 +177,193 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
     });
   };
 
-  // ---- Greedy selection: rules first --------------------------------------
+  // ---- Greedy selection (Algorithm 1 lines 7-12) ---------------------------
+  //
+  // Each pass repeats sweeps until one admits nothing. A sweep walks
+  // candidates in rank order and admits those whose total cost delta is
+  // negative, evaluated against the state left by all earlier admissions.
+  //
+  // Speculative Δ-evaluation (the default): a sweep first computes every
+  // remaining candidate's delta in parallel against the sweep-start
+  // state — the cached by_time histograms make each evaluation a flat
+  // CSR walk — then admits serially in rank order. A precomputed delta
+  // is reused unless one of the candidate's timestamps reports a ledger
+  // epoch newer than the sweep snapshot, i.e. an earlier admission in
+  // this sweep applied counters there. Admissions touch eligibility
+  // (fact_mapped / fact_associated flips) only for facts whose timestamp
+  // they applied to, so an untouched footprint guarantees the
+  // speculative delta equals what the serial loop would compute at this
+  // point; a touched one is recomputed from live state. Both paths run
+  // the identical histogram walk and ascending-timestamp CostDelta sum,
+  // so speculative and serial selection are bit-identical at every
+  // thread count (pinned by core_test's selection-determinism goldens).
   std::vector<uint8_t> fact_mapped(graph_.num_facts(), 0);
   std::vector<uint8_t> fact_associated(graph_.num_facts(), 0);
   std::vector<uint8_t> rule_selected(pool.rules.size(), 0);
   std::vector<uint8_t> edge_selected(pool.edges.size(), 0);
 
-  std::vector<uint32_t> rule_order;
-  rank_rules(&rule_order);
   double model_bits = ModelHeaderBits(universe);
   double assertion_bits = 0.0;
 
-  bool changed = true;
-  while (changed && !cancelled()) {
-    changed = false;
-    for (uint32_t idx : rule_order) {
-      if (rule_selected[idx]) continue;
-      const RuleCandidate& c = pool.rules[idx];
-      // Timestamp deltas for the facts this rule would newly map.
-      std::unordered_map<Timestamp, NegativeErrorLedger::Delta> deltas;
-      for (FactId f : c.assertions) {
-        if (fact_mapped[f] == 0) {
-          ++deltas[graph_.fact(f).time].mapped;
-        }
+  using LedgerDeltas = std::vector<NegativeErrorLedger::TimestampDelta>;
+  const bool speculate = options_.speculative_selection;
+  auto run_greedy = [&](const std::vector<uint32_t>& order,
+                        std::vector<uint8_t>& selected,
+                        auto&& histogram_of,   // idx -> const DeltaHistogram&
+                        auto&& compute_delta,  // (idx, buf, delta) -> viable
+                        auto&& admit) {
+    std::vector<double> spec_delta;
+    std::vector<uint8_t> spec_viable;
+    LedgerDeltas buf;
+    bool changed = true;
+    while (changed && !cancelled()) {
+      changed = false;
+      const uint64_t sweep_epoch = ledger.epoch();
+      if (speculate) {
+        spec_delta.assign(order.size(), 0.0);
+        spec_viable.assign(order.size(), 0);
+        // Nothing mutates between here and the admission walk, so shards
+        // read the live ledger / eligibility flags as the snapshot; each
+        // shard writes only its own spec slots.
+        ParallelForShards(
+            workers.get(), order.size(),
+            DeterministicShardCount(order.size()),
+            [&](size_t /*shard*/, size_t begin, size_t end) {
+              LedgerDeltas shard_buf;
+              for (size_t i = begin; i < end; ++i) {
+                const uint32_t idx = order[i];
+                if (selected[idx]) continue;
+                double delta = 0.0;
+                if (compute_delta(idx, &shard_buf, &delta)) {
+                  spec_delta[i] = delta;
+                  spec_viable[i] = 1;
+                }
+              }
+            });
       }
-      if (deltas.empty()) continue;
-      const double delta =
-          ledger.CostDelta(deltas) + c.model_bits + c.assertion_bits;
-      if (delta >= 0.0) continue;
-      // Admit (Algorithm 1 lines 10-11).
-      rule_selected[idx] = 1;
-      changed = true;
-      model_bits += c.model_bits;
-      assertion_bits += c.assertion_bits;
-      for (const auto& [t, d] : deltas) ledger.Apply(t, d.mapped, 0);
-      for (FactId f : c.assertions) {
-        if (fact_mapped[f] < 255) ++fact_mapped[f];
+      for (size_t i = 0; i < order.size(); ++i) {
+        const uint32_t idx = order[i];
+        if (selected[idx]) continue;
+        double delta = 0.0;
+        bool viable = false;
+        bool recompute = !speculate;
+        if (speculate) {
+          for (Timestamp t : histogram_of(idx).times) {
+            if (ledger.epoch_at(t) > sweep_epoch) {
+              recompute = true;
+              break;
+            }
+          }
+        }
+        if (recompute) {
+          viable = compute_delta(idx, &buf, &delta);
+        } else {
+          viable = spec_viable[i] != 0;
+          delta = spec_delta[i];
+        }
+        if (!viable || delta >= 0.0) continue;
+        // Admit (Algorithm 1 lines 10-11).
+        admit(idx);
+        changed = true;
       }
     }
-  }
+  };
+
+  // Each pass defines its eligibility predicate exactly once, in a
+  // collect lambda that fills the timestamp-ordered delta list; pricing
+  // previews it with CostDelta, admission applies it verbatim — so the
+  // previewed and applied counters cannot drift apart.
+  LedgerDeltas admit_buf;  // admission is serial, one buffer suffices
+
+  // ---- Rules pass -----------------------------------------------------------
+  std::vector<uint32_t> rule_order;
+  rank_rules(&rule_order);
+  // Timestamp deltas for the facts this rule would newly map.
+  auto collect_rule = [&](uint32_t idx, LedgerDeltas* buf) {
+    const DeltaHistogram& h = pool.rules[idx].by_time;
+    buf->clear();
+    for (size_t k = 0; k < h.num_times(); ++k) {
+      int32_t newly = 0;
+      for (uint32_t j = h.offsets[k]; j < h.offsets[k + 1]; ++j) {
+        newly += fact_mapped[h.facts[j]] == 0;
+      }
+      if (newly > 0) buf->push_back({h.times[k], {newly, 0}});
+    }
+    return !buf->empty();
+  };
+  run_greedy(
+      rule_order, rule_selected,
+      [&](uint32_t idx) -> const DeltaHistogram& {
+        return pool.rules[idx].by_time;
+      },
+      [&](uint32_t idx, LedgerDeltas* buf, double* delta) {
+        if (!collect_rule(idx, buf)) return false;
+        const RuleCandidate& c = pool.rules[idx];
+        *delta = ledger.CostDelta(*buf) + c.model_bits + c.assertion_bits;
+        return true;
+      },
+      [&](uint32_t idx) {
+        const RuleCandidate& c = pool.rules[idx];
+        rule_selected[idx] = 1;
+        model_bits += c.model_bits;
+        assertion_bits += c.assertion_bits;
+        collect_rule(idx, &admit_buf);
+        for (const auto& td : admit_buf) {
+          ledger.Apply(td.t, td.d.mapped, td.d.associated);
+        }
+        for (FactId f : c.assertions) {
+          if (fact_mapped[f] < 255) ++fact_mapped[f];
+        }
+      });
 
   if (cancelled()) return out;
 
-  // ---- Greedy selection: edges ---------------------------------------------
+  // ---- Edges pass -----------------------------------------------------------
   std::vector<uint32_t> edge_order;
   rank_edges(&edge_order);
-  changed = true;
-  while (changed && !cancelled()) {
-    changed = false;
-    for (uint32_t idx : edge_order) {
-      if (edge_selected[idx]) continue;
-      const EdgeCandidate& e = pool.edges[idx];
-      // Only mapped-but-unassociated tail facts yield savings; the tail
-      // rule must be selected for the fact to be mapped at all.
-      std::unordered_map<Timestamp, NegativeErrorLedger::Delta> deltas;
-      for (FactId f : e.tail_facts) {
-        if (fact_mapped[f] > 0 && fact_associated[f] == 0) {
-          ++deltas[graph_.fact(f).time].associated;
-        }
+  // Only mapped-but-unassociated tail facts yield savings; the tail
+  // rule must be selected for the fact to be mapped at all.
+  auto collect_edge = [&](uint32_t idx, LedgerDeltas* buf) {
+    const DeltaHistogram& h = pool.edges[idx].by_time;
+    buf->clear();
+    for (size_t k = 0; k < h.num_times(); ++k) {
+      int32_t newly = 0;
+      for (uint32_t j = h.offsets[k]; j < h.offsets[k + 1]; ++j) {
+        const FactId f = h.facts[j];
+        newly += fact_mapped[f] > 0 && fact_associated[f] == 0;
       }
-      if (deltas.empty()) continue;
-      const double delta =
-          ledger.CostDelta(deltas) + e.model_bits + e.assertion_bits;
-      if (delta >= 0.0) continue;
-      edge_selected[idx] = 1;
-      changed = true;
-      model_bits += e.model_bits;
-      assertion_bits += e.assertion_bits;
-      for (const auto& [t, d] : deltas) ledger.Apply(t, 0, d.associated);
-      for (FactId f : e.tail_facts) {
-        if (fact_mapped[f] > 0 && fact_associated[f] < 255) {
-          ++fact_associated[f];
-        }
-      }
+      if (newly > 0) buf->push_back({h.times[k], {0, newly}});
     }
-  }
+    return !buf->empty();
+  };
+  run_greedy(
+      edge_order, edge_selected,
+      [&](uint32_t idx) -> const DeltaHistogram& {
+        return pool.edges[idx].by_time;
+      },
+      [&](uint32_t idx, LedgerDeltas* buf, double* delta) {
+        if (!collect_edge(idx, buf)) return false;
+        const EdgeCandidate& e = pool.edges[idx];
+        *delta = ledger.CostDelta(*buf) + e.model_bits + e.assertion_bits;
+        return true;
+      },
+      [&](uint32_t idx) {
+        const EdgeCandidate& e = pool.edges[idx];
+        edge_selected[idx] = 1;
+        model_bits += e.model_bits;
+        assertion_bits += e.assertion_bits;
+        collect_edge(idx, &admit_buf);
+        for (const auto& td : admit_buf) {
+          ledger.Apply(td.t, td.d.mapped, td.d.associated);
+        }
+        for (FactId f : e.tail_facts) {
+          if (fact_mapped[f] > 0 && fact_associated[f] < 255) {
+            ++fact_associated[f];
+          }
+        }
+      });
 
+  workers.reset();
   if (cancelled()) return out;
 
   // ---- Materialize the rule graph ------------------------------------------

@@ -132,6 +132,30 @@ void MergeShardEdges(ShardPool* shard, const std::vector<uint32_t>& to_global,
 
 }  // namespace
 
+DeltaHistogram BuildDeltaHistogram(const TemporalKnowledgeGraph& graph,
+                                   const std::vector<FactId>& fact_ids) {
+  DeltaHistogram h;
+  h.facts = fact_ids;
+  // Stable sort: groups come out in ascending-timestamp order while facts
+  // within a group keep the input order, so the histogram is a pure
+  // function of (graph, fact_ids).
+  std::stable_sort(h.facts.begin(), h.facts.end(),
+                   [&graph](FactId a, FactId b) {
+                     return graph.fact(a).time < graph.fact(b).time;
+                   });
+  h.times.reserve(h.facts.size());
+  for (size_t i = 0; i < h.facts.size(); ++i) {
+    const Timestamp t = graph.fact(h.facts[i]).time;
+    if (h.times.empty() || h.times.back() != t) {
+      h.times.push_back(t);
+      h.offsets.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  h.offsets.push_back(static_cast<uint32_t>(h.facts.size()));
+  h.times.shrink_to_fit();
+  return h;
+}
+
 CandidateGenerator::CandidateGenerator(const TemporalKnowledgeGraph& graph,
                                        const CategoryFunction& categories,
                                        const DetectorOptions& options,

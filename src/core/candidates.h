@@ -12,6 +12,30 @@
 
 namespace anot {
 
+/// \brief A candidate's assertion facts regrouped by timestamp (CSR
+/// layout, ascending timestamps).
+///
+/// Cached once per candidate by the builder so each greedy-selection
+/// sweep walks a flat, timestamp-sorted array instead of rebuilding a
+/// per-candidate hash map: the sorted group order makes every cost-delta
+/// summation deterministic (the foundation of the speculative /
+/// serial-loop bit-identity contract), and the group list doubles as the
+/// candidate's dirty-timestamp footprint for epoch checks.
+struct DeltaHistogram {
+  std::vector<Timestamp> times;    // unique, ascending
+  std::vector<uint32_t> offsets;   // times.size() + 1 offsets into facts
+  std::vector<FactId> facts;       // grouped by time; input order within
+
+  bool empty() const { return times.empty(); }
+  size_t num_times() const { return times.size(); }
+};
+
+/// Regroups `fact_ids` by their start timestamp in `graph`. Depends only
+/// on the id list and the graph, so it can be filled by any shard of the
+/// parallel costing pass without affecting determinism.
+DeltaHistogram BuildDeltaHistogram(const TemporalKnowledgeGraph& graph,
+                                   const std::vector<FactId>& fact_ids);
+
 /// \brief A candidate atomic rule with its correct assertions (§4.3.2).
 struct RuleCandidate {
   AtomicRule rule;
@@ -20,9 +44,11 @@ struct RuleCandidate {
   /// Optimal-prefix-code accounting for Eq. 6.
   EntropyAccumulator subject_entropy;
   EntropyAccumulator object_entropy;
-  /// Model + assertion bits, filled by the builder.
+  /// Model + assertion bits and the per-timestamp assertion histogram,
+  /// filled by the builder.
   double model_bits = 0.0;
   double assertion_bits = 0.0;
+  DeltaHistogram by_time;
 };
 
 /// \brief A candidate rule edge with its assertions and timespans.
@@ -46,8 +72,11 @@ struct EdgeCandidate {
   std::vector<FactId> tail_facts;
   std::vector<Timestamp> timespans;  // parallel to tail_facts
   EntropyAccumulator timespan_entropy;
+  /// Model + assertion bits and the per-timestamp tail-fact histogram,
+  /// filled by the builder.
   double model_bits = 0.0;
   double assertion_bits = 0.0;
+  DeltaHistogram by_time;
 
   size_t support() const { return tail_facts.size(); }
 };

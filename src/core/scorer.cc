@@ -77,15 +77,17 @@ double Scorer::EvidenceWeight(const RuleEdge& edge,
   return 0.0;
 }
 
-std::optional<Instantiation> Scorer::TryInstantiate(const RuleEdge& edge,
-                                                    const Fact& fact) const {
+std::optional<Instantiation> Scorer::TryInstantiate(
+    const RuleEdge& edge, const Fact& fact, FactId exclude_witness) const {
   const Timestamp tail_time = AnchorTime(fact, options_->tail_anchor);
   const AtomicRule& head_rule = rules_->rule(edge.head);
 
   if (edge.kind == RuleEdgeKind::kChain) {
     // A prior fact of the head rule on the same (s, o) pair. Evidence is
     // existential, so among admissible witnesses we keep the one whose
-    // timespan agrees best with T(e) (minimal θ).
+    // timespan agrees best with T(e) (minimal θ). Witnesses are excluded
+    // by id, not value: a distinct earlier occurrence of an identical
+    // recurring fact is a real precursor.
     const auto* seq = graph_->FactsForPair(fact.subject, fact.object);
     if (seq == nullptr) return std::nullopt;
     std::optional<Instantiation> best;
@@ -93,10 +95,10 @@ std::optional<Instantiation> Scorer::TryInstantiate(const RuleEdge& edge,
     for (auto it = seq->rbegin();
          it != seq->rend() && scanned < options_->max_instantiation_scan;
          ++it, ++scanned) {
+      if (*it == exclude_witness) continue;
       const Fact& g = graph_->fact(*it);
       const Timestamp head_time = AnchorTime(g, options_->head_anchor);
       if (head_time > tail_time) continue;
-      if (g == fact) continue;
       if (!RuleMatchesFact(head_rule, g.subject, g.relation, g.object)) {
         continue;
       }
@@ -120,10 +122,10 @@ std::optional<Instantiation> Scorer::TryInstantiate(const RuleEdge& edge,
   for (auto it = s_facts->rbegin();
        it != s_facts->rend() && scanned < options_->max_instantiation_scan;
        ++it, ++scanned) {
+    if (*it == exclude_witness) continue;
     const Fact& g1 = graph_->fact(*it);
     const Timestamp t1 = AnchorTime(g1, options_->head_anchor);
     if (t1 > tail_time) continue;
-    if (g1 == fact) continue;
     const EntityId p = g1.object;
     if (p == fact.object || p == fact.subject) continue;
     if (!RuleMatchesFact(head_rule, g1.subject, g1.relation, p)) continue;
@@ -156,13 +158,14 @@ std::optional<Instantiation> Scorer::TryInstantiate(const RuleEdge& edge,
 
 Scorer::EdgeEvidence Scorer::EvidenceForEdge(RuleEdgeId edge_id,
                                              const Fact& fact, int depth,
-                                             std::vector<uint8_t>* visited,
+                                             Walk* walk,
                                              Evidence* evidence) const {
-  if ((*visited)[edge_id]) return {};
-  (*visited)[edge_id] = 1;
+  if (walk->visited[edge_id]) return {};
+  walk->visited[edge_id] = 1;
   const RuleEdge& edge = rules_->edge(edge_id);
 
-  auto inst = TryInstantiate(edge, fact);
+  auto inst = TryInstantiate(edge, fact, walk->exclude_witness);
+  walk->instantiated[edge_id] = inst.has_value();
   if (inst.has_value()) {
     EdgeEvidence out;
     out.support = EvidenceWeight(edge, *inst);
@@ -194,7 +197,7 @@ Scorer::EdgeEvidence Scorer::EvidenceForEdge(RuleEdgeId edge_id,
       depth + 1 < static_cast<int>(options_->max_recursion_steps)) {
     for (RuleEdgeId in_edge : rules_->InEdges(edge.head)) {
       EdgeEvidence child =
-          EvidenceForEdge(in_edge, fact, depth + 1, visited, evidence);
+          EvidenceForEdge(in_edge, fact, depth + 1, walk, evidence);
       out.support += child.support;
     }
   }
@@ -216,7 +219,8 @@ Scorer::EdgeEvidence Scorer::EvidenceForEdge(RuleEdgeId edge_id,
   return out;
 }
 
-Scores Scorer::Score(const Fact& fact, Evidence* evidence) const {
+Scores Scorer::Score(const Fact& fact, Evidence* evidence,
+                     FactId exclude_witness) const {
   Scores scores;
 
   // ---- Static score (Eq. 9) ----------------------------------------------
@@ -242,20 +246,27 @@ Scores Scorer::Score(const Fact& fact, Evidence* evidence) const {
   scores.temporal_evaluated = true;
 
   // ---- Temporal score (Eq. 10) ----------------------------------------------
-  std::vector<uint8_t> visited(rules_->num_edges(), 0);
+  Walk walk;
+  walk.visited.assign(rules_->num_edges(), 0);
+  walk.instantiated.assign(rules_->num_edges(), 0);
+  walk.exclude_witness = exclude_witness;
   for (RuleId id : mapped) {
     for (RuleEdgeId in_edge : rules_->InEdges(id)) {
-      EdgeEvidence e = EvidenceForEdge(in_edge, fact, 0, &visited, evidence);
+      EdgeEvidence e = EvidenceForEdge(in_edge, fact, 0, &walk, evidence);
       scores.temporal_support += e.support;
       scores.temporal_conflict += e.conflict;
     }
   }
-  // Association flag for the monitor: a depth-0 in-edge instantiation
-  // means the fact is "associated with a previous fact via a rule edge".
+  // Association flag for the monitor: an instantiable in-edge of a mapped
+  // rule means the fact is "associated with a previous fact via a rule
+  // edge". Every such edge was tried exactly once during the walk above
+  // (possibly at recursion depth > 0, where the visited filter then
+  // skips its depth-0 turn), so the recorded per-edge outcome replaces
+  // the second TryInstantiate pass the scorer used to run here.
   if (scores.temporal_support > 0.0) {
     for (RuleId id : mapped) {
       for (RuleEdgeId in_edge : rules_->InEdges(id)) {
-        if (TryInstantiate(rules_->edge(in_edge), fact).has_value()) {
+        if (walk.instantiated[in_edge]) {
           scores.associated = true;
           break;
         }
@@ -285,8 +296,8 @@ Scores Scorer::Score(const Fact& fact, Evidence* evidence) const {
              it != seq->rend() &&
              scanned < options_->max_instantiation_scan;
              ++it, ++scanned) {
+          if (*it == exclude_witness) continue;
           const Fact& g = graph_->fact(*it);
-          if (g == fact) continue;
           if (AnchorTime(g, options_->tail_anchor) >
               AnchorTime(fact, options_->head_anchor)) {
             continue;

@@ -91,7 +91,17 @@ class Scorer {
          const DetectorOptions* options);
 
   /// Algorithm 2 end to end. `evidence` may be nullptr.
-  Scores Score(const Fact& fact, Evidence* evidence = nullptr) const;
+  ///
+  /// `exclude_witness` names one graph fact (by id) that must not serve
+  /// as a witness in any scan — the fact being scored itself, when it has
+  /// already been ingested. Witness admissibility is decided by identity,
+  /// never by value equality: a *distinct* earlier occurrence of an
+  /// identical recurring fact is a real precursor and must stay
+  /// admissible (the same identity-vs-equality contract as the updater's
+  /// chain-edge scan). Facts scored before ingestion (the serving path)
+  /// need no exclusion — they have no id yet.
+  Scores Score(const Fact& fact, Evidence* evidence = nullptr,
+               FactId exclude_witness = kInvalidId) const;
 
   /// Rule nodes the fact maps to (any selection status).
   std::vector<RuleId> MapToRules(const Fact& fact) const;
@@ -99,9 +109,10 @@ class Scorer {
   /// Tries to instantiate `edge` as a precursor of `fact`: is there
   /// concrete prior knowledge matching the edge's head (and mid) pattern
   /// that the new knowledge could follow? Exposed for the updater's
-  /// timespan bookkeeping.
-  std::optional<Instantiation> TryInstantiate(const RuleEdge& edge,
-                                              const Fact& fact) const;
+  /// timespan bookkeeping. `exclude_witness` as in Score.
+  std::optional<Instantiation> TryInstantiate(
+      const RuleEdge& edge, const Fact& fact,
+      FactId exclude_witness = kInvalidId) const;
 
  private:
   bool RuleMatchesFact(const AtomicRule& rule, EntityId subject,
@@ -110,8 +121,17 @@ class Scorer {
     double support = 0.0;
     double conflict = 0.0;
   };
+  /// Per-Score walk state. `instantiated[e]` is meaningful only where
+  /// `visited[e]` is set: it records whether TryInstantiate succeeded the
+  /// one time edge e was tried, at whatever depth that happened, so the
+  /// association flag can be derived without a second instantiation pass.
+  struct Walk {
+    std::vector<uint8_t> visited;
+    std::vector<uint8_t> instantiated;
+    FactId exclude_witness = kInvalidId;
+  };
   EdgeEvidence EvidenceForEdge(RuleEdgeId edge_id, const Fact& fact,
-                               int depth, std::vector<uint8_t>* visited,
+                               int depth, Walk* walk,
                                Evidence* evidence) const;
   uint32_t CountAgreements(const RuleEdge& edge, Timestamp delta) const;
   /// Evidence weight x of Eq. 10 for one instantiation, per ThetaMode.

@@ -159,9 +159,14 @@ UpdateEffects Updater::Ingest(const Fact& fact) {
   }
 
   // ---- Timespan distribution changes (Alg. 3 line 15) -----------------------
+  // The fact is already in the graph here, so exclude it from witness
+  // scans by id — value equality would also veto distinct earlier
+  // occurrences of an identical recurring fact, which are real witnesses
+  // (the same identity-vs-equality contract as the chain scan above).
   for (RuleId mapped : scorer_.MapToRules(fact)) {
     for (RuleEdgeId in_edge : rules_->InEdges(mapped)) {
-      auto inst = scorer_.TryInstantiate(rules_->edge(in_edge), fact);
+      auto inst =
+          scorer_.TryInstantiate(rules_->edge(in_edge), fact, added_fact);
       if (!inst.has_value()) continue;
       rules_->AddTimespan(in_edge, inst->delta);
       rules_->mutable_edge(in_edge).support += 1;

@@ -29,6 +29,7 @@ void NegativeErrorLedger::SetTimestampTotal(Timestamp t, uint32_t total) {
   c.mapped = std::min(c.mapped, total);
   c.associated = std::min(c.associated, c.mapped);
   c.cost = CostAt(c.total, c.mapped, c.associated);
+  c.epoch = ++epoch_;
   total_cost_ += c.cost;
 }
 
@@ -46,7 +47,21 @@ void NegativeErrorLedger::Apply(Timestamp t, int32_t delta_mapped,
   c.mapped = static_cast<uint32_t>(mapped);
   c.associated = static_cast<uint32_t>(assoc);
   c.cost = CostAt(c.total, c.mapped, c.associated);
+  c.epoch = ++epoch_;
   total_cost_ += c.cost;
+}
+
+double NegativeErrorLedger::PreviewOne(const Counters& c,
+                                       const Delta& d) const {
+  const int64_t mapped = static_cast<int64_t>(c.mapped) + d.mapped;
+  const int64_t assoc = static_cast<int64_t>(c.associated) + d.associated;
+  ANOT_CHECK(mapped >= 0 && mapped <= c.total)
+      << "previewed mapped out of range";
+  ANOT_CHECK(assoc >= 0 && assoc <= mapped)
+      << "previewed associated out of range";
+  return CostAt(c.total, static_cast<uint32_t>(mapped),
+                static_cast<uint32_t>(assoc)) -
+         c.cost;
 }
 
 double NegativeErrorLedger::CostDelta(
@@ -55,16 +70,25 @@ double NegativeErrorLedger::CostDelta(
   for (const auto& [t, d] : deltas) {
     auto it = per_timestamp_.find(t);
     if (it == per_timestamp_.end()) continue;
-    const Counters& c = it->second;
-    int64_t mapped = static_cast<int64_t>(c.mapped) + d.mapped;
-    int64_t assoc = static_cast<int64_t>(c.associated) + d.associated;
-    mapped = std::min<int64_t>(std::max<int64_t>(mapped, 0), c.total);
-    assoc = std::min<int64_t>(std::max<int64_t>(assoc, 0), mapped);
-    delta_cost += CostAt(c.total, static_cast<uint32_t>(mapped),
-                         static_cast<uint32_t>(assoc)) -
-                  c.cost;
+    delta_cost += PreviewOne(it->second, d);
   }
   return delta_cost;
+}
+
+double NegativeErrorLedger::CostDelta(
+    const std::vector<TimestampDelta>& deltas) const {
+  double delta_cost = 0.0;
+  for (const TimestampDelta& td : deltas) {
+    auto it = per_timestamp_.find(td.t);
+    if (it == per_timestamp_.end()) continue;
+    delta_cost += PreviewOne(it->second, td.d);
+  }
+  return delta_cost;
+}
+
+uint64_t NegativeErrorLedger::epoch_at(Timestamp t) const {
+  auto it = per_timestamp_.find(t);
+  return it == per_timestamp_.end() ? 0 : it->second.epoch;
 }
 
 uint32_t NegativeErrorLedger::mapped_at(Timestamp t) const {

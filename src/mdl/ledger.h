@@ -30,13 +30,38 @@ class NegativeErrorLedger {
   void Apply(Timestamp t, int32_t delta_mapped, int32_t delta_associated);
 
   /// Cost change if `deltas` (t -> {delta_mapped, delta_associated}) were
-  /// applied, without mutating state. Negative = cost reduction.
+  /// applied, without mutating state. Negative = cost reduction. Previews
+  /// enforce the same counter-range invariants as Apply (a preview that
+  /// would crash on apply is a programmer error and fails fast here too);
+  /// deltas on unregistered timestamps contribute zero — there are no
+  /// counters to move, so applying them is meaningless, not previewable.
   struct Delta {
     int32_t mapped = 0;
     int32_t associated = 0;
   };
   double CostDelta(
       const std::unordered_map<Timestamp, Delta>& deltas) const;
+
+  /// Batch-preview overload over a pre-grouped delta list. Accumulation
+  /// follows the list order, so a caller that always presents timestamps
+  /// in ascending order gets bit-identical sums regardless of how the
+  /// list was produced — the ordering contract the builder's speculative
+  /// Δ-evaluation relies on (the unordered_map overload sums in hash
+  /// order, which is deterministic only per identically-built map).
+  struct TimestampDelta {
+    Timestamp t = 0;
+    Delta d;
+  };
+  double CostDelta(const std::vector<TimestampDelta>& deltas) const;
+
+  /// Monotone mutation counter, incremented by every Apply (and by
+  /// SetTimestampTotal). A speculative sweep snapshots it, evaluates
+  /// candidate deltas against the frozen state, and later recomputes only
+  /// the candidates whose timestamps report a newer epoch — i.e. were
+  /// dirtied by an admission after the snapshot.
+  uint64_t epoch() const { return epoch_; }
+  /// Epoch stamped by the last mutation touching `t` (0 = never touched).
+  uint64_t epoch_at(Timestamp t) const;
 
   double total_cost() const { return total_cost_; }
   uint32_t mapped_at(Timestamp t) const;
@@ -55,11 +80,17 @@ class NegativeErrorLedger {
     uint32_t mapped = 0;
     uint32_t associated = 0;
     double cost = 0.0;
+    uint64_t epoch = 0;  // ledger epoch of the last mutation
   };
+
+  /// Previewed cost change of one timestamp; CHECKs the same range
+  /// invariants Apply enforces.
+  double PreviewOne(const Counters& c, const Delta& d) const;
 
   double tier1_universe_;
   double tier2_universe_;
   double total_cost_ = 0.0;
+  uint64_t epoch_ = 0;
   std::unordered_map<Timestamp, Counters> per_timestamp_;
 };
 

@@ -9,6 +9,7 @@
 #include "core/candidates.h"
 #include "core/duration.h"
 #include "datagen/generator.h"
+#include "serving_test_util.h"
 #include "tkg/split.h"
 
 namespace anot {
@@ -281,6 +282,38 @@ TEST_F(CoreFixture, RefreshMidStreamIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial->report().negative_bits, parallel->report().negative_bits);
 }
 
+TEST_F(CoreFixture, SpeculativeSelectionMatchesSerialLoop) {
+  // Speculative Δ-evaluation (parallel per-sweep candidate deltas, serial
+  // rank-order admission with dirty-timestamp recomputation) must select
+  // exactly what the reference serial loop selects — byte-identical rule
+  // graph, identical report bits — at every thread count. The thread
+  // sweep follows the ANOT_THREADS CI convention, so both the serial and
+  // the contended schedule exercise these goldens.
+  for (size_t threads : ThreadCountsUnderTest({1, 4})) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    AnoTOptions serial_options;
+    serial_options.detector = TestDetectorOptions();
+    serial_options.detector.speculative_selection = false;
+    serial_options.num_threads = threads;
+    AnoT serial = AnoT::Build(*train_, serial_options);
+
+    AnoTOptions speculative_options = serial_options;
+    speculative_options.detector.speculative_selection = true;
+    AnoT speculative = AnoT::Build(*train_, speculative_options);
+
+    ExpectRuleGraphsIdentical(serial.rules(), speculative.rules());
+    EXPECT_EQ(serial.report().model_bits, speculative.report().model_bits);
+    EXPECT_EQ(serial.report().assertion_bits,
+              speculative.report().assertion_bits);
+    EXPECT_EQ(serial.report().negative_bits,
+              speculative.report().negative_bits);
+    EXPECT_EQ(serial.report().explained_fraction,
+              speculative.report().explained_fraction);
+    EXPECT_EQ(serial.report().associated_fraction,
+              speculative.report().associated_fraction);
+  }
+}
+
 // ---------------------------------------------------------------- Scoring
 
 TEST_F(CoreFixture, ValidFactsScoreLowerThanConceptualAnomalies) {
@@ -486,6 +519,162 @@ TEST_F(CoreFixture, RepeatedIdenticalFactWiresChainEdges) {
   EXPECT_GT(total.new_rule_edges, 0u)
       << "distinct earlier occurrences of an identical fact are real "
          "precursors and must wire chain edges";
+}
+
+/// Hand-built world for the scorer identity-vs-equality regressions: the
+/// pair (0, 10) holds one prior occurrence of the exact fact under test,
+/// the rule graph one atomic rule over it with a self-loop chain edge.
+struct RecurrenceWorld {
+  TemporalKnowledgeGraph graph;
+  CategoryFunction categories;
+  RuleGraph rules;
+  RuleId rule = kInvalidId;
+};
+
+void MakeRecurrenceWorld(RecurrenceWorld* w) {
+  // The prior occurrence of the recurring fact, plus sibling pairs that
+  // give the entities categories.
+  w->graph.AddFact(Fact(0, 0, 10, 100));
+  for (EntityId i = 1; i < 4; ++i) {
+    w->graph.AddFact(Fact(i, 0, 10 + i, 80 + static_cast<Timestamp>(i)));
+  }
+  CategoryFunctionOptions copts;
+  copts.min_support = 3;
+  w->categories = CategoryFunction::Build(w->graph, copts);
+  ASSERT_FALSE(w->categories.Categories(0).empty());
+  ASSERT_FALSE(w->categories.Categories(10).empty());
+  const CategoryId cs = w->categories.Categories(0).front();
+  const CategoryId co = w->categories.Categories(10).front();
+  w->rule = w->rules.AddRule(AtomicRule{cs, 0, co}, /*static_selected=*/true);
+  w->rules.SetSupport(w->rule, 4);
+  RuleEdge self_loop;
+  self_loop.kind = RuleEdgeKind::kChain;
+  self_loop.head = w->rule;
+  self_loop.tail = w->rule;
+  self_loop.timespans = {0};
+  self_loop.support = 1;
+  w->rules.AddEdge(self_loop);
+}
+
+TEST(ScorerRecurrenceTest, IdenticalRecurringFactCanBeItsOwnWitness) {
+  // Regression: the witness scans skipped `g == fact` by *value*, so a
+  // re-reported recurring fact — identical to an occurrence already in
+  // the graph — could never use that distinct earlier occurrence as a
+  // chain witness and was penalized as if the pattern had never been
+  // seen. Witness exclusion is by id; an arrival scored before ingestion
+  // excludes nothing.
+  RecurrenceWorld w;
+  ASSERT_NO_FATAL_FAILURE(MakeRecurrenceWorld(&w));
+  DetectorOptions dopts;
+  dopts.timespan_tolerance = 5;
+  Scorer scorer(&w.graph, &w.categories, &w.rules, &dopts);
+
+  const Scores s = scorer.Score(Fact(0, 0, 10, 100));
+  EXPECT_GT(s.temporal_support, 0.0)
+      << "the identical earlier occurrence must instantiate the self-loop";
+  EXPECT_TRUE(s.associated);
+  EXPECT_LT(s.temporal_score, 1.0);
+}
+
+TEST(ScorerRecurrenceTest, UpdaterTimespanScanExcludesOnlyTheNewInstance) {
+  // The updater runs the same witness scan *after* the arrival has been
+  // ingested: only the just-added instance may be excluded (by id), while
+  // a distinct identical earlier occurrence is a real witness whose
+  // timespan must be recorded — and a first occurrence must not witness
+  // itself.
+  RecurrenceWorld w;
+  ASSERT_NO_FATAL_FAILURE(MakeRecurrenceWorld(&w));
+  DetectorOptions dopts;
+  dopts.timespan_tolerance = 5;
+  UpdaterOptions uopts;
+  Updater updater(&w.graph, &w.categories, &w.rules, &dopts, uopts);
+
+  // Exact duplicate of the t=100 occurrence: the earlier copy witnesses.
+  const UpdateEffects duplicate = updater.Ingest(Fact(0, 0, 10, 100));
+  EXPECT_GT(duplicate.timespans_recorded, 0u)
+      << "identical recurring fact never records timespans";
+
+  // Fresh pair (1, 10): the newly added instance is the only fact in the
+  // pair sequence and must not instantiate the self-loop edge itself.
+  const UpdateEffects first = updater.Ingest(Fact(1, 0, 10, 200));
+  EXPECT_EQ(first.timespans_recorded, 0u)
+      << "a first occurrence must not witness itself";
+}
+
+TEST(ScorerAssociationTest, AssociatedFlagSurvivesVisitedSkip) {
+  // An in-edge consumed as a *recursive* child of an earlier mapped
+  // rule's walk is skipped by the visited filter when its own depth-0
+  // turn comes. The association flag must still reflect its successful
+  // instantiation: the scorer now records each edge's single
+  // TryInstantiate outcome during the walk instead of re-instantiating
+  // every in-edge in a second pass (which ignored `visited` and thereby
+  // caught this case — the cheap replacement must not regress it).
+  TemporalKnowledgeGraph g;
+  // Token Out(0) for subjects {0,1,2,3}; objects {20..23} carry In(0).
+  for (EntityId i = 0; i < 4; ++i) g.AddFact(Fact(i, 0, 20 + i, 10));
+  // Token Out(1) for subjects {0,4,5,6}: low member overlap with Out(0)
+  // keeps the two combinations from aggregating into one category.
+  g.AddFact(Fact(0, 1, 30, 10));
+  for (EntityId i = 4; i < 7; ++i) g.AddFact(Fact(i, 1, 20 + i, 10));
+  // The witness: a relation-0 fact on pair (0, 10) just before the probe.
+  g.AddFact(Fact(0, 0, 10, 99));
+
+  CategoryFunctionOptions copts;
+  copts.min_support = 3;
+  auto categories = CategoryFunction::Build(g, copts);
+  // Entity 0's two categories, keyed by their defining token.
+  CategoryId ca = kInvalidId, cb = kInvalidId;
+  for (CategoryId c : categories.Categories(0)) {
+    const auto& tokens = categories.Combination(c);
+    if (std::find(tokens.begin(), tokens.end(), OutRelationToken(0)) !=
+        tokens.end()) {
+      ca = c;
+    }
+    if (std::find(tokens.begin(), tokens.end(), OutRelationToken(1)) !=
+        tokens.end()) {
+      cb = c;
+    }
+  }
+  ASSERT_NE(ca, kInvalidId);
+  ASSERT_NE(cb, kInvalidId);
+  ASSERT_NE(ca, cb);
+  ASSERT_FALSE(categories.Categories(10).empty());
+  const CategoryId cc = categories.Categories(10).front();
+
+  RuleGraph rules;
+  const RuleId r1 = rules.AddRule(AtomicRule{ca, 1, cc}, true);
+  const RuleId r2 = rules.AddRule(AtomicRule{cb, 1, cc}, true);
+  const RuleId head = rules.AddRule(AtomicRule{ca, 0, cc}, true);
+  rules.SetSupport(r1, 3);
+  rules.SetSupport(r2, 3);
+  rules.SetSupport(head, 3);
+  // Walk order: r1 (lowest id) is processed first; its in-edge fails to
+  // instantiate (no prior relation-1 fact on the pair) and recursion
+  // consumes X at depth 1 — so X is already visited when r2's depth-0
+  // turn reaches it.
+  RuleEdge e1;
+  e1.kind = RuleEdgeKind::kChain;
+  e1.head = r2;
+  e1.tail = r1;
+  e1.timespans = {1};
+  e1.support = 1;
+  rules.AddEdge(e1);
+  RuleEdge x;
+  x.kind = RuleEdgeKind::kChain;
+  x.head = head;
+  x.tail = r2;
+  x.timespans = {1};
+  x.support = 1;
+  rules.AddEdge(x);
+
+  DetectorOptions dopts;
+  dopts.timespan_tolerance = 5;
+  Scorer scorer(&g, &categories, &rules, &dopts);
+  const Scores s = scorer.Score(Fact(0, 1, 10, 100));
+  EXPECT_GT(s.temporal_support, 0.0);
+  EXPECT_TRUE(s.associated)
+      << "in-edge instantiated at recursion depth 1 and visited-skipped "
+         "at depth 0 must still set the association flag";
 }
 
 TEST(UpdaterDurationTest, EndAnchoredChainScanCoversFullWindow) {
