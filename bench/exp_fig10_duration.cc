@@ -14,17 +14,22 @@ int main() {
   ProtocolOptions popts;
   popts.injector.perturb_durations = true;
 
-  // ---- (a) adaptation strategies ------------------------------------------
-  std::vector<std::vector<std::string>> rows_a;
+  // ---- (a) adaptation strategies: one sweep cell per strategy -------------
+  std::vector<SweepCell> cells;
   for (DurationStrategy strategy :
        {DurationStrategy::kAverage, DurationStrategy::kStartOnly,
         DurationStrategy::kEndOnly, DurationStrategy::kFourGraphs}) {
-    AnoTOptions options = DefaultAnoTOptions(w.config.name);
-    DurationAnoTModel model(options, strategy,
-                            DurationStrategyName(strategy));
-    EvalResult r = RunModelOnWorkload(w, &model, popts);
-    rows_a.push_back({DurationStrategyName(strategy),
-                      FormatDouble(r.time.f_beta, 3),
+    AnoTOptions options = SweepCellAnoTOptions(w.config.name);
+    cells.push_back(MakeCell(
+        w, popts, DurationStrategyName(strategy),
+        ModelFactory<DurationAnoTModel>(
+            options, strategy, std::string(DurationStrategyName(strategy)))));
+  }
+  const std::vector<EvalResult> results =
+      RunHarnessSweep(std::move(cells)).Results();
+  std::vector<std::vector<std::string>> rows_a;
+  for (const EvalResult& r : results) {
+    rows_a.push_back({r.model, FormatDouble(r.time.f_beta, 3),
                       FormatDouble(r.missing.f_beta, 3)});
   }
   std::printf("(a) adaptation strategies:\n%s\n",

@@ -1,5 +1,10 @@
 // Figure 5: AUC vs the proportion of offline data used to build the model
 // (0.2 .. 0.6), AnoT vs the strongest baseline RE-GCN, per anomaly type.
+// All 40 (dataset, proportion, model) cells run as one experiment sweep
+// on the ANOT_THREADS pool; each proportion gets its own TimeSplit over
+// the shared const graph.
+
+#include <deque>
 
 #include "common.h"
 
@@ -9,26 +14,46 @@ using namespace anot::bench;
 int main() {
   PrintHeader("Figure 5: AUC vs training proportion (AnoT vs RE-GCN)");
   ProtocolOptions popts;
-  std::vector<std::vector<std::string>> rows;
+
+  std::deque<Workload> workloads;
   for (const char* dataset : {"icews14", "icews05-15", "yago11k", "gdelt"}) {
-    Workload w = MakeWorkload(dataset);
+    workloads.push_back(MakeWorkload(dataset));
+  }
+
+  // The custom splits live here so the cells can point at them.
+  std::deque<TimeSplit> splits;
+  std::vector<SweepCell> cells;
+  for (const Workload& w : workloads) {
     for (double proportion : {0.2, 0.3, 0.4, 0.5, 0.6}) {
       // Shrink the training window; validation stays at 10%, the rest of
       // the original test window is evaluated.
-      TimeSplit split = SplitByTimestamps(*w.graph, proportion, 0.1);
-      AnoTModel anot_model(DefaultAnoTOptions(w.config.name));
-      EvalResult a = RunProtocol(*w.graph, split, &anot_model, popts);
-      auto regcn = MakeBaseline("RE-GCN").MoveValue();
-      EvalResult b = RunProtocol(*w.graph, split, regcn.get(), popts);
-      rows.push_back({w.config.name, FormatDouble(proportion, 1), "AnoT",
-                      FormatDouble(a.conceptual.pr_auc, 3),
-                      FormatDouble(a.time.pr_auc, 3),
-                      FormatDouble(a.missing.pr_auc, 3)});
-      rows.push_back({w.config.name, FormatDouble(proportion, 1), "RE-GCN",
-                      FormatDouble(b.conceptual.pr_auc, 3),
-                      FormatDouble(b.time.pr_auc, 3),
-                      FormatDouble(b.missing.pr_auc, 3)});
+      splits.push_back(SplitByTimestamps(*w.graph, proportion, 0.1));
+      const TimeSplit& split = splits.back();
+      for (const char* model_name : {"AnoT", "RE-GCN"}) {
+        SweepCell cell;
+        cell.graph = w.graph.get();
+        cell.split = &split;
+        cell.protocol = popts;
+        cell.dataset = w.config.name;
+        cell.label = FormatDouble(proportion, 1);
+        if (std::string(model_name) == "AnoT") {
+          cell.factory =
+              ModelFactory<AnoTModel>(SweepCellAnoTOptions(w.config.name));
+        } else {
+          cell.factory = [] { return MakeBaseline("RE-GCN"); };
+        }
+        cells.push_back(std::move(cell));
+      }
     }
+  }
+  const SweepResult sweep = RunHarnessSweep(std::move(cells));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const SweepCellResult& cell : sweep.cells) {
+    rows.push_back({cell.dataset, cell.label, cell.result.model,
+                    FormatDouble(cell.result.conceptual.pr_auc, 3),
+                    FormatDouble(cell.result.time.pr_auc, 3),
+                    FormatDouble(cell.result.missing.pr_auc, 3)});
   }
   std::printf("%s\n",
               Reporter::RenderTable({"Dataset", "train%", "model",

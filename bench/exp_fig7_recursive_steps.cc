@@ -1,5 +1,8 @@
 // Figure 7: time/missing AUC and detection throughput vs the number of
-// recursive steps K in {1, 2, 3, 4}.
+// recursive steps K in {1, 2, 3, 4}. All 16 (dataset, K) cells run as one
+// experiment sweep on the ANOT_THREADS pool.
+
+#include <deque>
 
 #include "common.h"
 
@@ -9,19 +12,32 @@ using namespace anot::bench;
 int main() {
   PrintHeader("Figure 7: AUC and throughput vs recursion depth K");
   ProtocolOptions popts;
-  std::vector<std::vector<std::string>> rows;
+
+  std::deque<Workload> workloads;
   for (const char* dataset : {"icews14", "icews05-15", "yago11k", "gdelt"}) {
-    Workload w = MakeWorkload(dataset);
+    workloads.push_back(MakeWorkload(dataset));
+  }
+
+  std::vector<SweepCell> cells;
+  for (const Workload& w : workloads) {
     for (size_t k : {1u, 2u, 3u, 4u}) {
-      AnoTOptions options = DefaultAnoTOptions(w.config.name);
+      AnoTOptions options = SweepCellAnoTOptions(w.config.name);
       options.detector.max_recursion_steps = k;
-      AnoTModel model(options);
-      EvalResult r = RunModelOnWorkload(w, &model, popts);
-      rows.push_back({w.config.name, std::to_string(k),
-                      FormatDouble(r.time.pr_auc, 3),
-                      FormatDouble(r.missing.pr_auc, 3),
-                      StrFormat("%.0f", r.throughput)});
+      cells.push_back(MakeCell(w, popts, std::to_string(k),
+                               ModelFactory<AnoTModel>(options)));
     }
+  }
+  const SweepResult sweep = RunHarnessSweep(std::move(cells));
+
+  // The throughput column is a timing measurement: it varies from run to
+  // run, and with ANOT_THREADS > 1 concurrent cells contend for cores —
+  // for clean paper-figure throughput numbers, run with ANOT_THREADS=1.
+  std::vector<std::vector<std::string>> rows;
+  for (const SweepCellResult& cell : sweep.cells) {
+    rows.push_back({cell.dataset, cell.label,
+                    FormatDouble(cell.result.time.pr_auc, 3),
+                    FormatDouble(cell.result.missing.pr_auc, 3),
+                    StrFormat("%.0f", cell.result.throughput)});
   }
   std::printf("%s\n", Reporter::RenderTable({"Dataset", "K", "time AUC",
                                              "missing AUC",

@@ -1,5 +1,8 @@
 // Figure 9: AUC of all three anomaly types vs the maximum number of
-// entity categories k in {1, 3, 5, 10}.
+// entity categories k in {1, 3, 5, 10}. All 16 (dataset, k) cells run as
+// one experiment sweep on the ANOT_THREADS pool.
+
+#include <deque>
 
 #include "common.h"
 
@@ -9,19 +12,29 @@ using namespace anot::bench;
 int main() {
   PrintHeader("Figure 9: AUC vs number of entity categories k");
   ProtocolOptions popts;
-  std::vector<std::vector<std::string>> rows;
+
+  std::deque<Workload> workloads;
   for (const char* dataset : {"icews14", "icews05-15", "yago11k", "gdelt"}) {
-    Workload w = MakeWorkload(dataset);
+    workloads.push_back(MakeWorkload(dataset));
+  }
+
+  std::vector<SweepCell> cells;
+  for (const Workload& w : workloads) {
     for (size_t k : {1u, 3u, 5u, 10u}) {
-      AnoTOptions options = DefaultAnoTOptions(w.config.name);
+      AnoTOptions options = SweepCellAnoTOptions(w.config.name);
       options.detector.category.max_categories_per_entity = k;
-      AnoTModel model(options);
-      EvalResult r = RunModelOnWorkload(w, &model, popts);
-      rows.push_back({w.config.name, std::to_string(k),
-                      FormatDouble(r.conceptual.pr_auc, 3),
-                      FormatDouble(r.time.pr_auc, 3),
-                      FormatDouble(r.missing.pr_auc, 3)});
+      cells.push_back(MakeCell(w, popts, std::to_string(k),
+                               ModelFactory<AnoTModel>(options)));
     }
+  }
+  const SweepResult sweep = RunHarnessSweep(std::move(cells));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const SweepCellResult& cell : sweep.cells) {
+    rows.push_back({cell.dataset, cell.label,
+                    FormatDouble(cell.result.conceptual.pr_auc, 3),
+                    FormatDouble(cell.result.time.pr_auc, 3),
+                    FormatDouble(cell.result.missing.pr_auc, 3)});
   }
   std::printf("%s\n",
               Reporter::RenderTable({"Dataset", "k", "conceptual AUC",

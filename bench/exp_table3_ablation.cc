@@ -1,6 +1,9 @@
 // Table 3: ablations of AnoT's components on all four datasets —
 // category aggregation, updater, triadic edges, recursion, ranking
-// strategy, and the |A_v| -> 1 weight replacement.
+// strategy, and the |A_v| -> 1 weight replacement. All 28 (dataset,
+// variant) cells run as one experiment sweep on the ANOT_THREADS pool.
+
+#include <deque>
 
 #include "common.h"
 
@@ -32,17 +35,24 @@ int main() {
       {"original", [](AnoTOptions*) {}},
   };
 
-  std::vector<EvalResult> results;
+  std::deque<Workload> workloads;
   for (const char* dataset : {"icews14", "icews05-15", "yago11k", "gdelt"}) {
-    Workload w = MakeWorkload(dataset);
-    std::printf("dataset %s ...\n", w.config.name.c_str());
+    workloads.push_back(MakeWorkload(dataset));
+    std::printf("dataset %s ...\n", workloads.back().config.name.c_str());
+  }
+
+  std::vector<SweepCell> cells;
+  for (const Workload& w : workloads) {
     for (const Variant& v : variants) {
-      AnoTOptions options = DefaultAnoTOptions(w.config.name);
+      AnoTOptions options = SweepCellAnoTOptions(w.config.name);
       v.apply(&options);
-      AnoTModel model(options, v.name);
-      results.push_back(RunModelOnWorkload(w, &model, popts));
+      cells.push_back(MakeCell(w, popts, v.name,
+                               ModelFactory<AnoTModel>(options,
+                                                       std::string(v.name))));
     }
   }
+  const std::vector<EvalResult> results =
+      RunHarnessSweep(std::move(cells)).Results();
   std::printf("\n%s", Reporter::RenderComparison(results).c_str());
   return 0;
 }

@@ -12,24 +12,32 @@ int main() {
   ProtocolOptions popts;
   popts.injector.perturb_durations = true;
 
-  std::vector<EvalResult> results;
+  // One sweep cell per model: six embedding baselines + two AnoT
+  // variants, all fit/scored on the ANOT_THREADS pool.
+  std::vector<SweepCell> cells;
   for (const char* baseline :
        {"DE", "TA", "Timeplex", "TNT", "TELM", "RE-GCN"}) {
-    auto model = MakeBaseline(baseline).MoveValue();
-    results.push_back(RunModelOnWorkload(w, model.get(), popts));
+    cells.push_back(BaselineCell(w, popts, baseline));
   }
   {
-    AnoTOptions options = DefaultAnoTOptions(w.config.name);
+    AnoTOptions options = SweepCellAnoTOptions(w.config.name);
     options.enable_updater = false;
-    DurationAnoTModel model(options, DurationStrategy::kFourGraphs,
-                            "AnoT(-updater)");
-    results.push_back(RunModelOnWorkload(w, &model, popts));
+    cells.push_back(MakeCell(
+        w, popts, "AnoT(-updater)",
+        ModelFactory<DurationAnoTModel>(options,
+                                        DurationStrategy::kFourGraphs,
+                                        std::string("AnoT(-updater)"))));
   }
   {
-    AnoTOptions options = DefaultAnoTOptions(w.config.name);
-    DurationAnoTModel model(options, DurationStrategy::kFourGraphs, "AnoT");
-    results.push_back(RunModelOnWorkload(w, &model, popts));
+    AnoTOptions options = SweepCellAnoTOptions(w.config.name);
+    cells.push_back(MakeCell(
+        w, popts, "AnoT",
+        ModelFactory<DurationAnoTModel>(options,
+                                        DurationStrategy::kFourGraphs,
+                                        std::string("AnoT"))));
   }
+  const std::vector<EvalResult> results =
+      RunHarnessSweep(std::move(cells)).Results();
 
   std::vector<std::vector<std::string>> rows;
   for (const auto& r : results) {

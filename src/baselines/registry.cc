@@ -6,7 +6,13 @@
 namespace anot {
 
 Result<std::unique_ptr<AnomalyModel>> MakeBaseline(const std::string& name) {
+  return MakeBaseline(name, BaselineConfig{});
+}
+
+Result<std::unique_ptr<AnomalyModel>> MakeBaseline(
+    const std::string& name, const BaselineConfig& config) {
   FactorizationBaseline::Config fc;
+  if (config.seed != 0) fc.seed = config.seed;
   if (name == "DE") {
     return std::unique_ptr<AnomalyModel>(new DeSimpleBaseline(fc));
   }
@@ -23,20 +29,24 @@ Result<std::unique_ptr<AnomalyModel>> MakeBaseline(const std::string& name) {
     return std::unique_ptr<AnomalyModel>(new TelmBaseline(fc));
   }
   if (name == "RE-GCN") {
-    return std::unique_ptr<AnomalyModel>(
-        new ReGcnLiteBaseline(ReGcnLiteBaseline::Config{}));
+    ReGcnLiteBaseline::Config rc;
+    if (config.seed != 0) rc.seed = config.seed;
+    return std::unique_ptr<AnomalyModel>(new ReGcnLiteBaseline(rc));
   }
   if (name == "DynAnom") {
-    return std::unique_ptr<AnomalyModel>(
-        new DynAnomBaseline(DynAnomBaseline::Config{}));
+    DynAnomBaseline::Config dc;
+    if (config.seed != 0) dc.seed = config.seed;
+    return std::unique_ptr<AnomalyModel>(new DynAnomBaseline(dc));
   }
   if (name == "F-FADE") {
-    return std::unique_ptr<AnomalyModel>(
-        new FFadeBaseline(FFadeBaseline::Config{}));
+    FFadeBaseline::Config ffc;
+    if (config.seed != 0) ffc.seed = config.seed;
+    return std::unique_ptr<AnomalyModel>(new FFadeBaseline(ffc));
   }
   if (name == "TADDY") {
-    return std::unique_ptr<AnomalyModel>(
-        new TaddyLiteBaseline(TaddyLiteBaseline::Config{}));
+    TaddyLiteBaseline::Config tc;
+    if (config.seed != 0) tc.seed = config.seed;
+    return std::unique_ptr<AnomalyModel>(new TaddyLiteBaseline(tc));
   }
   return Status::NotFound("unknown baseline: " + name);
 }

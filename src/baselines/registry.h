@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,11 +10,31 @@
 
 namespace anot {
 
+/// \brief Cross-model construction knobs for sweep cells.
+///
+/// Every baseline carries its own paper-default RNG seed; a sweep that
+/// wants independent repetitions overrides it here. Seeds only matter to
+/// the stochastic models (the factorization family, RE-GCN, TADDY);
+/// DynAnom and F-FADE are deterministic and ignore them.
+struct BaselineConfig {
+  /// RNG seed override; 0 keeps the model's paper-default seed.
+  uint64_t seed = 0;
+};
+
 /// \brief Factory for the benchmark baselines.
 ///
 /// Names (Table 2): "DE", "TA", "Timeplex", "TNT", "TELM", "RE-GCN",
 /// "DynAnom", "F-FADE", "TADDY".
+///
+/// Thread compatibility: a constructed model is confined to one thread
+/// (Fit/Score/ObserveValid mutate model state), but distinct models may
+/// fit and score *concurrently* against one shared const
+/// TemporalKnowledgeGraph — Fit reads the graph through const accessors
+/// only, which the graph documents as safe. This is what lets an
+/// experiment sweep run one model per worker over a shared workload.
 Result<std::unique_ptr<AnomalyModel>> MakeBaseline(const std::string& name);
+Result<std::unique_ptr<AnomalyModel>> MakeBaseline(
+    const std::string& name, const BaselineConfig& config);
 
 /// All nine baseline names in the paper's Table 2 row order.
 std::vector<std::string> AllBaselineNames();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "eval/sweep.h"
 #include "util/string_util.h"
 
 namespace anot {
@@ -65,6 +66,26 @@ std::string Reporter::RenderComparison(
                        rows);
     out += "\n";
   }
+  return out;
+}
+
+std::string Reporter::RenderSweepTiming(const SweepResult& sweep) {
+  std::vector<std::vector<std::string>> rows;
+  for (const SweepCellResult& cell : sweep.cells) {
+    rows.push_back(
+        {cell.dataset, cell.label,
+         cell.status.ok() ? "ok" : cell.status.ToString(),
+         FormatDouble(cell.result.fit_seconds, 2),
+         FormatDouble(cell.result.test_seconds, 2),
+         FormatDouble(cell.cell_seconds, 2)});
+  }
+  std::string out = RenderTable(
+      {"dataset", "cell", "status", "fit_s", "test_s", "cell_s"}, rows);
+  out += StrFormat(
+      "sweep: %zu cells (%zu failed) on %zu workers, wall %.2fs, "
+      "serial-equivalent %.2fs, speedup %.2fx\n",
+      sweep.cells.size(), sweep.num_failed(), sweep.num_threads,
+      sweep.wall_seconds, sweep.serial_seconds, sweep.Speedup());
   return out;
 }
 

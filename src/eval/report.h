@@ -7,6 +7,8 @@
 
 namespace anot {
 
+struct SweepResult;
+
 /// \brief Plain-text table rendering for the experiment harnesses.
 class Reporter {
  public:
@@ -18,6 +20,12 @@ class Reporter {
   /// Serving-cost block: fit/test wall-clock, throughput and the
   /// per-arrival latency tail (p50/p99/max, test window) per run.
   static std::string RenderTiming(const std::vector<EvalResult>& results);
+
+  /// Per-cell fit/eval wall-clock of a sweep plus a footer with the
+  /// whole-grid wall time, serial-equivalent time, and speedup. Timing
+  /// only — the metric tables come from RenderComparison and are
+  /// byte-identical across worker counts; this block is not.
+  static std::string RenderSweepTiming(const SweepResult& sweep);
 
   /// Simple aligned table given header + rows.
   static std::string RenderTable(

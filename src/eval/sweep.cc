@@ -1,0 +1,93 @@
+#include "eval/sweep.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace anot {
+
+namespace {
+
+/// Runs one cell end to end. Exceptions are converted to a Status here —
+/// on a pool worker an escaped exception would be rethrown by Wait() and
+/// abort the whole sweep, poisoning the other cells' results.
+Status RunCell(const SweepCell& cell, EvalResult* result) {
+  if (cell.graph == nullptr || cell.split == nullptr) {
+    return Status::InvalidArgument("sweep cell has no workload");
+  }
+  if (!cell.factory) {
+    return Status::InvalidArgument("sweep cell has no model factory");
+  }
+  try {
+    Result<std::unique_ptr<AnomalyModel>> made = cell.factory();
+    if (!made.ok()) return made.status();
+    std::unique_ptr<AnomalyModel> model = made.MoveValue();
+    if (model == nullptr) {
+      return Status::Internal("sweep cell factory returned a null model");
+    }
+    *result = RunProtocol(*cell.graph, *cell.split, model.get(),
+                          cell.protocol);
+    if (!cell.dataset.empty()) result->dataset = cell.dataset;
+    return Status::OK();
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("sweep cell threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("sweep cell threw a non-std exception");
+  }
+}
+
+}  // namespace
+
+std::vector<EvalResult> SweepResult::Results() const {
+  std::vector<EvalResult> out;
+  out.reserve(cells.size());
+  for (const SweepCellResult& cell : cells) {
+    if (cell.status.ok()) out.push_back(cell.result);
+  }
+  return out;
+}
+
+size_t SweepResult::num_failed() const {
+  size_t failed = 0;
+  for (const SweepCellResult& cell : cells) failed += !cell.status.ok();
+  return failed;
+}
+
+double SweepResult::Speedup() const {
+  return wall_seconds > 0.0 ? serial_seconds / wall_seconds : 0.0;
+}
+
+SweepResult RunSweep(const SweepSpec& spec) {
+  SweepResult out;
+  out.num_threads = ResolveNumThreads(spec.num_threads);
+  out.cells.resize(spec.cells.size());
+  WallTimer wall;
+  auto run_cell = [&](size_t i) {
+    const SweepCell& cell = spec.cells[i];
+    SweepCellResult& slot = out.cells[i];
+    slot.dataset = cell.dataset;
+    slot.label = cell.label;
+    WallTimer timer;
+    slot.status = RunCell(cell, &slot.result);
+    slot.cell_seconds = timer.ElapsedSeconds();
+  };
+  if (out.num_threads <= 1 || spec.cells.size() <= 1) {
+    // Reference serial loop: declared order on the calling thread.
+    for (size_t i = 0; i < spec.cells.size(); ++i) run_cell(i);
+  } else {
+    ThreadPool pool(std::min(out.num_threads, spec.cells.size()));
+    for (size_t i = 0; i < spec.cells.size(); ++i) {
+      pool.Submit([&run_cell, i] { run_cell(i); });
+    }
+    pool.Wait();
+  }
+  out.wall_seconds = wall.ElapsedSeconds();
+  for (const SweepCellResult& cell : out.cells) {
+    out.serial_seconds += cell.cell_seconds;
+  }
+  return out;
+}
+
+}  // namespace anot

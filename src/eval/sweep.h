@@ -1,0 +1,94 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/model.h"
+#include "eval/protocol.h"
+#include "tkg/graph.h"
+#include "tkg/split.h"
+#include "util/result.h"
+
+namespace anot {
+
+/// \brief One (workload, model) cell of an experiment grid.
+///
+/// The factory is invoked *inside the cell's own worker task*, so every
+/// model — and every per-model RNG — is born, trained, and destroyed
+/// within one cell; no mutable state crosses cells. The workload pointers
+/// are shared across cells and must stay valid for the duration of
+/// RunSweep; cells only ever read them through const methods (the
+/// TemporalKnowledgeGraph documents const access as thread-safe).
+struct SweepCell {
+  /// Builds the cell's model. May fail (e.g. an unknown registry name);
+  /// the failure is recorded on the cell without affecting any other.
+  std::function<Result<std::unique_ptr<AnomalyModel>>()> factory;
+  const TemporalKnowledgeGraph* graph = nullptr;
+  const TimeSplit* split = nullptr;
+  ProtocolOptions protocol;
+  /// Stamped onto EvalResult::dataset (RunProtocol only knows the model).
+  std::string dataset;
+  /// Display name for timing/error reporting; the model's own name()
+  /// still labels the EvalResult.
+  std::string label;
+};
+
+/// \brief A full experiment grid plus the worker budget to run it with.
+struct SweepSpec {
+  std::vector<SweepCell> cells;
+  /// Worker count for the sweep pool: 0 = one per hardware thread,
+  /// 1 = the reference serial loop on the calling thread. Inner model
+  /// parallelism (AnoTOptions::num_threads) is independent of this knob.
+  size_t num_threads = 0;
+};
+
+/// \brief Outcome of one cell: an EvalResult, or the error that stopped it.
+struct SweepCellResult {
+  Status status;        ///< non-OK when the factory failed or fit/eval threw
+  EvalResult result;    ///< meaningful iff status.ok()
+  double cell_seconds = 0.0;  ///< fit + eval wall-clock of this cell
+  std::string dataset;  ///< copied from the cell for reporting
+  std::string label;    ///< copied from the cell for reporting
+};
+
+/// \brief Everything RunSweep measured, cells in declared order.
+struct SweepResult {
+  std::vector<SweepCellResult> cells;
+  double wall_seconds = 0.0;    ///< whole-sweep wall-clock
+  double serial_seconds = 0.0;  ///< sum of per-cell wall-clocks
+  size_t num_threads = 1;       ///< resolved worker count actually used
+
+  /// EvalResults of the successful cells, in declared cell order.
+  std::vector<EvalResult> Results() const;
+  size_t num_failed() const;
+  /// Serial-equivalent time over wall time (>= ~1 when the pool helps).
+  double Speedup() const;
+};
+
+/// Fits and scores every cell of the grid, one ThreadPool task per cell.
+///
+/// Results land in declared cell order whatever the scheduling, and each
+/// cell's metrics are byte-identical to running that cell alone on the
+/// calling thread: cells share nothing but const workloads, and every
+/// source of randomness (model seeds, injector seeds) is owned by the
+/// cell. Only the timing fields (fit/test seconds, throughput, latency
+/// percentiles, cell_seconds) vary across thread counts.
+///
+/// A cell whose factory errors or whose fit/eval throws is recorded as
+/// failed on its own slot; the remaining cells run to completion.
+SweepResult RunSweep(const SweepSpec& spec);
+
+/// Wraps a concrete AnomalyModel constructor into a SweepCell factory,
+/// copying the arguments so the cell owns everything it needs.
+template <typename ModelT, typename... Args>
+std::function<Result<std::unique_ptr<AnomalyModel>>()> ModelFactory(
+    Args... args) {
+  return [args...]() -> Result<std::unique_ptr<AnomalyModel>> {
+    return std::unique_ptr<AnomalyModel>(new ModelT(args...));
+  };
+}
+
+}  // namespace anot

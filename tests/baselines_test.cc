@@ -1,11 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "baselines/registry.h"
 #include "datagen/generator.h"
 #include "eval/metrics.h"
 #include "eval/protocol.h"
 #include "nn/nn.h"
 #include "tkg/split.h"
+#include "util/thread_pool.h"
 
 namespace anot {
 namespace {
@@ -71,8 +77,31 @@ TEST(RegistryTest, AllNineBaselinesConstruct) {
     auto model = MakeBaseline(name);
     ASSERT_TRUE(model.ok()) << name;
     EXPECT_EQ(model.value()->name(), name);
+    // The seeded overload constructs every name too.
+    auto seeded = MakeBaseline(name, BaselineConfig{/*seed=*/12345});
+    ASSERT_TRUE(seeded.ok()) << name;
+    EXPECT_EQ(seeded.value()->name(), name);
   }
   EXPECT_FALSE(MakeBaseline("GPT").ok());
+}
+
+TEST(RegistryTest, UnknownNameIsNotFoundOnBothOverloads) {
+  const auto plain = MakeBaseline("nope");
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(plain.status().message().find("nope"), std::string::npos);
+  const auto seeded = MakeBaseline("nope", BaselineConfig{/*seed=*/7});
+  ASSERT_FALSE(seeded.ok());
+  EXPECT_EQ(seeded.status().code(), StatusCode::kNotFound);
+}
+
+// Golden: the registry order IS the paper's Table 2 row order; the sweep
+// harnesses and the comparison tables rely on it.
+TEST(RegistryTest, NamesPinTable2RowOrder) {
+  const std::vector<std::string> expected = {
+      "DE",     "TA",      "Timeplex", "TNT",  "TELM",
+      "RE-GCN", "DynAnom", "F-FADE",   "TADDY"};
+  EXPECT_EQ(AllBaselineNames(), expected);
 }
 
 // ------------------------------------------------------------ behavioural
@@ -194,6 +223,134 @@ TEST_F(BaselineFixture, MissingScoreIsNegatedAnomaly) {
   const Fact& f = graph_->fact(split_->test.front());
   auto s = model->Score(f);
   EXPECT_DOUBLE_EQ(s.missing, -s.conceptual);
+}
+
+// ------------------------------------------------------------ determinism
+//
+// The experiment sweep runs one model per pool worker against a shared
+// const workload; its byte-identity guarantee rests on (a) every model
+// being a pure function of (train graph, seed) and (b) Fit reading the
+// graph through const accessors only. Both are pinned here, on a smaller
+// world than the AUC fixture so the 9-model matrix stays cheap.
+
+class BaselineDeterminismFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig cfg;
+    cfg.num_entities = 100;
+    cfg.num_relations = 12;
+    cfg.num_timestamps = 60;
+    cfg.num_facts = 1500;
+    cfg.num_categories = 4;
+    cfg.num_chain_rules = 3;
+    cfg.num_triadic_rules = 1;
+    cfg.seed = 81;
+    SyntheticGenerator gen(cfg);
+    graph_ = gen.Generate().release();
+    split_ = new TimeSplit(SplitByTimestamps(*graph_, 0.6, 0.1));
+    train_ = Subgraph(*graph_, split_->train).release();
+    // Probe set: test-window facts plus corrupted counterparts, so both
+    // on-manifold and off-manifold scores are compared.
+    probes_ = new std::vector<Fact>();
+    Rng rng(4321);
+    for (size_t i = 0; i < split_->test.size() && probes_->size() < 40;
+         i += 7) {
+      const Fact& f = graph_->fact(split_->test[i]);
+      probes_->push_back(f);
+      Fact neg = f;
+      neg.object =
+          static_cast<EntityId>(rng.Uniform(graph_->num_entities()));
+      probes_->push_back(neg);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete probes_;
+    delete train_;
+    delete split_;
+    delete graph_;
+    probes_ = nullptr;
+    train_ = nullptr;
+    split_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  /// Fits a fresh model (seed 0 = the paper default) on the shared const
+  /// train graph and flattens the probe scores for exact comparison.
+  static std::vector<double> FitAndScore(const std::string& name,
+                                         uint64_t seed) {
+    auto model = MakeBaseline(name, BaselineConfig{seed}).MoveValue();
+    model->Fit(*train_);
+    std::vector<double> out;
+    out.reserve(probes_->size() * 3);
+    for (const Fact& f : *probes_) {
+      const auto s = model->Score(f);
+      out.push_back(s.conceptual);
+      out.push_back(s.time);
+      out.push_back(s.missing);
+    }
+    return out;
+  }
+
+  static TemporalKnowledgeGraph* graph_;
+  static TimeSplit* split_;
+  static TemporalKnowledgeGraph* train_;
+  static std::vector<Fact>* probes_;
+};
+
+TemporalKnowledgeGraph* BaselineDeterminismFixture::graph_ = nullptr;
+TimeSplit* BaselineDeterminismFixture::split_ = nullptr;
+TemporalKnowledgeGraph* BaselineDeterminismFixture::train_ = nullptr;
+std::vector<Fact>* BaselineDeterminismFixture::probes_ = nullptr;
+
+/// The models whose scores are a function of the graph alone — no RNG in
+/// fit — so seed overrides must be no-ops for them.
+bool IsSeedFree(const std::string& name) {
+  return name == "DynAnom" || name == "F-FADE";
+}
+
+TEST_F(BaselineDeterminismFixture, SameSeedRefitsAreBitIdentical) {
+  for (const auto& name : AllBaselineNames()) {
+    SCOPED_TRACE(name);
+    const std::vector<double> first = FitAndScore(name, 0);
+    const std::vector<double> second = FitAndScore(name, 0);
+    EXPECT_EQ(first, second);
+  }
+}
+
+TEST_F(BaselineDeterminismFixture, SeedOverridePerturbsStochasticModels) {
+  for (const auto& name : AllBaselineNames()) {
+    SCOPED_TRACE(name);
+    const std::vector<double> default_seed = FitAndScore(name, 0);
+    const std::vector<double> other_seed = FitAndScore(name, 1000003);
+    if (IsSeedFree(name)) {
+      EXPECT_EQ(default_seed, other_seed);
+    } else {
+      EXPECT_NE(default_seed, other_seed);
+    }
+  }
+}
+
+// Two pool workers fit the same baseline concurrently against one shared
+// const graph (the sweep's memory-sharing pattern); both must reproduce
+// the serial fit exactly. Run under TSan in CI to guard the const-read
+// contract of TemporalKnowledgeGraph.
+TEST_F(BaselineDeterminismFixture,
+       ConcurrentFitsOnSharedConstGraphMatchSerial) {
+  for (const auto& name : AllBaselineNames()) {
+    SCOPED_TRACE(name);
+    const std::vector<double> serial = FitAndScore(name, 0);
+    std::vector<std::vector<double>> concurrent(2);
+    ThreadPool pool(2);
+    for (size_t t = 0; t < concurrent.size(); ++t) {
+      pool.Submit([&concurrent, &name, t] {
+        concurrent[t] = FitAndScore(name, 0);
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(concurrent[0], serial);
+    EXPECT_EQ(concurrent[1], serial);
+  }
 }
 
 }  // namespace
