@@ -100,6 +100,10 @@ void ReGcnLiteBaseline::EvolveTimestamp(
     ++to_subject.second;
     ++to_object.second;
   }
+  // anot-lint: ordered-ok each iteration reads and writes only entity e's
+  // own state row and message slot (disjoint per-entity effects; the
+  // cross-entity reads all happened in the fact loop above), so hash order
+  // cannot change any h[] result
   for (auto& [e, msg] : messages) {
     float* h = &state_[e * d];
     double norm = 0;

@@ -337,4 +337,13 @@ Explainer AnoT::MakeExplainer() const {
   return Explainer(graph_.get(), categories_.get(), rules_.get());
 }
 
+void AnoT::CheckInvariants() const {
+#ifdef ANOT_VALIDATE
+  graph_->CheckInvariants();
+  rules_->CheckInvariants();
+  monitor_->CheckInvariants();
+  if (updater_ != nullptr) updater_->CheckInvariants();
+#endif
+}
+
 }  // namespace anot

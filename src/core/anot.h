@@ -171,6 +171,12 @@ class AnoT {
   const AnoTOptions& options() const { return *options_; }
   size_t refresh_count() const { return refresh_count_; }
 
+  /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
+  /// runs CheckInvariants() on the grown TKG, the rule graph, the monitor
+  /// and the updater. Call at commit boundaries (between arrivals/batches,
+  /// after Refresh/FinishRefresh), never concurrently with mutation.
+  void CheckInvariants() const;
+
  private:
   AnoT() = default;
 

@@ -377,6 +377,8 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
     }
     if (pair_counts.empty()) return false;
     size_t repeated = 0;
+    // anot-lint: ordered-ok integer count of repeating pairs; addition of
+    // size_t is associative and commutative, so hash order cannot change it
     for (const auto& [key, count] : pair_counts) repeated += (count > 1);
     return static_cast<double>(repeated) /
                static_cast<double>(pair_counts.size()) >
@@ -433,6 +435,11 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
   report.assertion_bits = assertion_bits;
   report.negative_bits = ledger.total_cost();
   report.build_seconds = timer.ElapsedSeconds();
+  // End-of-selection commit boundary: with ANOT_VALIDATE these catch a
+  // speculative Δ-admission that desynced the ledger, or a materialization
+  // bug, right here instead of ten goldens later (no-ops otherwise).
+  ledger.CheckInvariants();
+  rg.CheckInvariants();
   return out;
 }
 

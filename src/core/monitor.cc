@@ -63,6 +63,25 @@ bool Monitor::ShouldRefresh() const {
   return false;
 }
 
+void Monitor::CheckInvariants() const {
+#ifdef ANOT_VALIDATE
+  ANOT_CHECK(online_bits_ >= 0.0) << "accumulated online bits negative";
+  ANOT_CHECK(bucket_associated_ <= bucket_mapped_)
+      << "bucket associated " << bucket_associated_ << " > mapped "
+      << bucket_mapped_;
+  ANOT_CHECK(bucket_mapped_ <= bucket_total_)
+      << "bucket mapped " << bucket_mapped_ << " > total " << bucket_total_;
+  if (bucket_open_) {
+    ANOT_CHECK(bucket_total_ >= 1) << "open bucket with no arrivals";
+    ANOT_CHECK(bucket_time_ != kNoTimestamp) << "open bucket with no time";
+  } else {
+    ANOT_CHECK(bucket_total_ == 0 && bucket_mapped_ == 0 &&
+               bucket_associated_ == 0)
+        << "closed bucket retains counters";
+  }
+#endif  // ANOT_VALIDATE
+}
+
 void Monitor::Reset(double training_negative_bits,
                     size_t training_timestamps) {
   training_bits_ = training_negative_bits;

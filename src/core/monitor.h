@@ -56,6 +56,13 @@ class Monitor {
   /// is left open exactly as live observation would.
   void Replay(const std::vector<MonitorObservation>& observations);
 
+  /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
+  /// bucket counter coherence (associated <= mapped <= total; a closed
+  /// bucket holds zeroed counters, an open one at least one arrival and a
+  /// real timestamp) and non-negative accumulated bits.
+  /// ANOT_CHECK-fails on the first violation.
+  void CheckInvariants() const;
+
  private:
   void CloseBucket();
 

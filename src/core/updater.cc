@@ -59,6 +59,27 @@ void Updater::ErasePendingRule(const AtomicRule& rule) {
   pending_rules_.erase(it);
 }
 
+void Updater::CheckInvariants() const {
+#ifdef ANOT_VALIDATE
+  ANOT_CHECK(pending_rules_.size() == pending_lru_.size())
+      << "pending table (" << pending_rules_.size() << ") and LRU list ("
+      << pending_lru_.size() << ") diverged";
+  ANOT_CHECK(pending_rules_.size() <=
+             std::max<size_t>(1, options_.max_pending_rules))
+      << "pending table exceeds max_pending_rules cap";
+  for (auto it = pending_lru_.begin(); it != pending_lru_.end(); ++it) {
+    auto entry = pending_rules_.find(*it);
+    ANOT_CHECK(entry != pending_rules_.end())
+        << "LRU node missing from the pending table";
+    ANOT_CHECK(entry->second.lru == it)
+        << "pending entry's LRU iterator does not round-trip";
+    ANOT_CHECK(entry->second.support >= 1) << "pending support below 1";
+    ANOT_CHECK(!rules_->FindRule(*it).has_value())
+        << "rule is both pending and admitted to the rule graph";
+  }
+#endif  // ANOT_VALIDATE
+}
+
 UpdateEffects Updater::Ingest(const Fact& fact) {
   UpdateEffects effects;
   effects.facts_ingested = 1;

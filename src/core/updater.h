@@ -56,6 +56,13 @@ class Updater {
   /// UpdaterOptions::max_pending_rules (diagnostics / tests).
   size_t pending_rule_count() const { return pending_rules_.size(); }
 
+  /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
+  /// pending-rule table and LRU list agree entry for entry (same size,
+  /// every list node's stored iterator round-trips, no rule both pending
+  /// and admitted), supports >= 1, and the cap is respected.
+  /// ANOT_CHECK-fails on the first violation.
+  void CheckInvariants() const;
+
  private:
   /// Marginal MDL admission test for a recurring unseen pattern.
   bool ShouldAdmitRule(const AtomicRule& rule, uint32_t online_support) const;

@@ -1,5 +1,6 @@
 #include "mdl/ledger.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mdl/encoding.h"
@@ -67,6 +68,10 @@ double NegativeErrorLedger::PreviewOne(const Counters& c,
 double NegativeErrorLedger::CostDelta(
     const std::unordered_map<Timestamp, Delta>& deltas) const {
   double delta_cost = 0.0;
+  // anot-lint: ordered-ok documented contract (see header): this overload
+  // sums in hash order, which is deterministic only per identically-built
+  // map; callers needing cross-construction bit-identity use the ordered
+  // TimestampDelta overload below
   for (const auto& [t, d] : deltas) {
     auto it = per_timestamp_.find(t);
     if (it == per_timestamp_.end()) continue;
@@ -76,9 +81,9 @@ double NegativeErrorLedger::CostDelta(
 }
 
 double NegativeErrorLedger::CostDelta(
-    const std::vector<TimestampDelta>& deltas) const {
+    const std::vector<TimestampDelta>& ordered_deltas) const {
   double delta_cost = 0.0;
-  for (const TimestampDelta& td : deltas) {
+  for (const TimestampDelta& td : ordered_deltas) {
     auto it = per_timestamp_.find(td.t);
     if (it == per_timestamp_.end()) continue;
     delta_cost += PreviewOne(it->second, td.d);
@@ -105,5 +110,48 @@ uint32_t NegativeErrorLedger::total_at(Timestamp t) const {
   auto it = per_timestamp_.find(t);
   return it == per_timestamp_.end() ? 0 : it->second.total;
 }
+
+void NegativeErrorLedger::CheckInvariants() const {
+#ifdef ANOT_VALIDATE
+  double sum = 0.0;
+  // anot-lint: ordered-ok validation only: per-entry checks are
+  // independent, and the float sum is compared under a tolerance that
+  // absorbs ordering drift
+  for (const auto& [t, c] : per_timestamp_) {
+    ANOT_CHECK(c.mapped <= c.total)
+        << "timestamp " << t << ": mapped " << c.mapped << " > total "
+        << c.total;
+    ANOT_CHECK(c.associated <= c.mapped)
+        << "timestamp " << t << ": associated " << c.associated
+        << " > mapped " << c.mapped;
+    // The cached cost was assigned from this exact pure call, so it must
+    // match bit for bit — any difference means a counter moved without a
+    // reprice.
+    ANOT_CHECK(c.cost == CostAt(c.total, c.mapped, c.associated))
+        << "timestamp " << t << ": cached cost stale";
+    ANOT_CHECK(c.epoch <= epoch_)
+        << "timestamp " << t << ": epoch " << c.epoch
+        << " ahead of ledger epoch " << epoch_;
+    sum += c.cost;
+  }
+  // total_cost_ is maintained incrementally (+= new - old per mutation),
+  // so allow float drift; the summation order over the hash map varies,
+  // which the tolerance also absorbs.
+  ANOT_CHECK(std::abs(total_cost_ - sum) <=
+             1e-6 * std::max(1.0, std::abs(sum)))
+      << "total cost " << total_cost_ << " diverged from per-timestamp sum "
+      << sum;
+#endif  // ANOT_VALIDATE
+}
+
+#ifdef ANOT_VALIDATE
+void NegativeErrorLedger::TestOnlyCorruptCountersForValidation(
+    Timestamp t, uint32_t total, uint32_t mapped, uint32_t associated) {
+  Counters& c = per_timestamp_[t];
+  c.total = total;
+  c.mapped = mapped;
+  c.associated = associated;
+}
+#endif
 
 }  // namespace anot

@@ -52,7 +52,7 @@ class NegativeErrorLedger {
     Timestamp t = 0;
     Delta d;
   };
-  double CostDelta(const std::vector<TimestampDelta>& deltas) const;
+  double CostDelta(const std::vector<TimestampDelta>& ordered_deltas) const;
 
   /// Monotone mutation counter, incremented by every Apply (and by
   /// SetTimestampTotal). A speculative sweep snapshots it, evaluates
@@ -73,6 +73,22 @@ class NegativeErrorLedger {
   /// Cost of a single timestamp given explicit counters (used by the
   /// monitor on unseen timestamps).
   double CostAt(uint32_t total, uint32_t mapped, uint32_t associated) const;
+
+  /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
+  /// per-timestamp counter ranges (associated <= mapped <= total), cached
+  /// cost bit-identical to a CostAt recompute, per-timestamp epochs <= the
+  /// ledger epoch, and total_cost_ equal to the per-timestamp sum within
+  /// float tolerance. ANOT_CHECK-fails on the first violation.
+  void CheckInvariants() const;
+
+#ifdef ANOT_VALIDATE
+  /// Test-only back door (exists only under ANOT_VALIDATE): overwrites the
+  /// raw counters of `t` without repricing, fabricating the corrupt state
+  /// the validator death tests assert on. Never call outside tests.
+  void TestOnlyCorruptCountersForValidation(Timestamp t, uint32_t total,
+                                            uint32_t mapped,
+                                            uint32_t associated);
+#endif
 
  private:
   struct Counters {

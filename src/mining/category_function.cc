@@ -188,6 +188,10 @@ CategoryFunction CategoryFunction::Build(
       }
     });
     std::vector<ComboCandidate> added;
+    // Audited for determinism: `proposals` is a vector of per-shard
+    // vectors replayed here in fixed shard order, and each shard appended
+    // its candidates in deterministic pair-scan order — so first-wins
+    // dedup via `seen` admits the same candidates for every thread count.
     for (auto& local : proposals) {
       for (auto& [key, candidate] : local) {
         if (seen.insert(key).second) added.push_back(std::move(candidate));

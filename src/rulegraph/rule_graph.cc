@@ -117,4 +117,54 @@ std::string RuleGraph::ToString() const {
   return out;
 }
 
+void RuleGraph::CheckInvariants() const {
+#ifdef ANOT_VALIDATE
+  const size_t n = rules_.size();
+  ANOT_CHECK(support_.size() == n && static_selected_.size() == n &&
+             recurrent_.size() == n && in_edges_.size() == n &&
+             out_edges_.size() == n)
+      << "rule parallel arrays diverged";
+  ANOT_CHECK(rule_index_.size() == n) << "rule index size diverged";
+  // anot-lint: ordered-ok validation only: each entry's round-trip check is
+  // independent of every other entry, so iteration order cannot change the
+  // verdict
+  for (const auto& [rule, id] : rule_index_) {
+    ANOT_CHECK(id < n && rules_[id] == rule)
+        << "rule index does not round-trip for rule " << id;
+  }
+  size_t want_static = 0;
+  for (RuleId id = 0; id < n; ++id) want_static += static_selected_[id] ? 1 : 0;
+  ANOT_CHECK(num_static_ == want_static) << "static rule count diverged";
+
+  ANOT_CHECK(edge_index_.size() == edges_.size())
+      << "edge index size diverged";
+  std::vector<std::vector<RuleEdgeId>> want_in(n);
+  std::vector<std::vector<RuleEdgeId>> want_out(n);
+  for (RuleEdgeId id = 0; id < edges_.size(); ++id) {
+    const RuleEdge& e = edges_[id];
+    ANOT_CHECK(e.head < n && e.tail < n)
+        << "edge " << id << " references unknown rule";
+    if (e.kind == RuleEdgeKind::kChain) {
+      ANOT_CHECK(e.mid == kInvalidId) << "chain edge " << id << " has a mid";
+    } else {
+      ANOT_CHECK(e.mid < n) << "triadic edge " << id << " lacks a mid rule";
+    }
+    ANOT_CHECK(std::is_sorted(e.timespans.begin(), e.timespans.end()))
+        << "edge " << id << " timespans unsorted";
+    auto indexed = edge_index_.find(EdgeKey(e.kind, e.head, e.mid, e.tail));
+    ANOT_CHECK(indexed != edge_index_.end() && indexed->second == id)
+        << "edge index does not round-trip for edge " << id;
+    want_in[e.tail].push_back(id);
+    want_out[e.head].push_back(id);
+    if (e.kind == RuleEdgeKind::kTriadic && e.mid != e.head) {
+      want_out[e.mid].push_back(id);
+    }
+  }
+  // AddEdge appends adjacency entries in edge-id order, so the recomputed
+  // lists must match exactly (content and order).
+  ANOT_CHECK(in_edges_ == want_in) << "in-edge adjacency diverged";
+  ANOT_CHECK(out_edges_ == want_out) << "out-edge adjacency diverged";
+#endif  // ANOT_VALIDATE
+}
+
 }  // namespace anot

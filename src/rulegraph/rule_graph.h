@@ -108,6 +108,13 @@ class RuleGraph {
   /// Multi-line human-readable dump (used by serialization and examples).
   std::string ToString() const;
 
+  /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
+  /// parallel-array sizes, rule/edge index round-trips, num_static_ count,
+  /// edge endpoint validity (chain edges carry no mid), sorted timespans,
+  /// and exact in/out adjacency membership. ANOT_CHECK-fails on the first
+  /// violation.
+  void CheckInvariants() const;
+
  private:
   static uint64_t EdgeKey(RuleEdgeKind kind, RuleId head, RuleId mid,
                           RuleId tail);

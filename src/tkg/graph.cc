@@ -137,4 +137,152 @@ std::string TemporalKnowledgeGraph::RelationName(RelationId r) const {
   return "R" + std::to_string(r);
 }
 
+void TemporalKnowledgeGraph::CheckInvariants() const {
+#ifdef ANOT_VALIDATE
+  // Recompute every secondary index from the primary fact store and demand
+  // exact agreement. AddFact maintains all of them incrementally; any
+  // divergence means a mutation corrupted an index.
+  size_t want_entities = 0;
+  size_t want_relations = 0;
+  bool want_durations = false;
+  Timestamp want_min = kNoTimestamp;
+  Timestamp want_max = kNoTimestamp;
+  std::map<Timestamp, std::vector<FactId>> want_by_time;
+  std::unordered_map<uint64_t, std::vector<FactId>> want_pairs;
+  std::unordered_map<EntityId, std::vector<FactId>> want_subjects;
+  std::unordered_map<EntityId, std::vector<FactId>> want_objects;
+  std::unordered_map<Triple, uint32_t, TripleHash> want_triples;
+
+  for (FactId id = 0; id < facts_.size(); ++id) {
+    const Fact& f = facts_[id];
+    ANOT_CHECK(f.subject != kInvalidId && f.relation != kInvalidId &&
+               f.object != kInvalidId)
+        << "fact " << id << " carries invalid ids";
+    ANOT_CHECK(f.end >= f.time) << "fact " << id << " ends before it starts";
+    want_entities = std::max(
+        want_entities,
+        static_cast<size_t>(std::max(f.subject, f.object)) + 1);
+    want_relations =
+        std::max(want_relations, static_cast<size_t>(f.relation) + 1);
+    if (f.end != f.time) want_durations = true;
+    if (want_min == kNoTimestamp || f.time < want_min) want_min = f.time;
+    if (want_max == kNoTimestamp || f.time > want_max) want_max = f.time;
+    want_by_time[f.time].push_back(id);
+    want_pairs[PairKey(f.subject, f.object)].push_back(id);
+    want_subjects[f.subject].push_back(id);
+    want_objects[f.object].push_back(id);
+    ++want_triples[Triple{f.subject, f.relation, f.object}];
+    ANOT_CHECK(fact_set_.count(f) > 0)
+        << "fact " << id << " missing from the membership set";
+  }
+  ANOT_CHECK(num_entities_ == want_entities) << "entity universe diverged";
+  ANOT_CHECK(num_relations_ == want_relations)
+      << "relation universe diverged";
+  ANOT_CHECK(has_durations_ == want_durations) << "duration flag diverged";
+  ANOT_CHECK(min_time_ == want_min && max_time_ == want_max)
+      << "time bounds diverged";
+
+  // by_time_ buckets are push_back'd in arrival (= id) order, exactly how
+  // the recompute appends them; the pair/role lists are stably sorted by
+  // (time, id), so sort the recomputed lists the same way before the exact
+  // comparison — equality then covers content and order at once.
+  ANOT_CHECK(by_time_ == want_by_time) << "by-time index diverged";
+  auto sort_by_time_id = [this](std::vector<FactId>* list) {
+    std::sort(list->begin(), list->end(), [this](FactId a, FactId b) {
+      if (facts_[a].time != facts_[b].time) {
+        return facts_[a].time < facts_[b].time;
+      }
+      return a < b;
+    });
+  };
+  // anot-lint: ordered-ok validation only: each bucket is sorted in place
+  // independently; no cross-bucket state accumulates
+  for (auto& [key, list] : want_pairs) {
+    (void)key;
+    sort_by_time_id(&list);
+  }
+  // anot-lint: ordered-ok validation only: per-bucket in-place sort,
+  // order-independent
+  for (auto& [e, list] : want_subjects) {
+    (void)e;
+    sort_by_time_id(&list);
+  }
+  // anot-lint: ordered-ok validation only: per-bucket in-place sort,
+  // order-independent
+  for (auto& [e, list] : want_objects) {
+    (void)e;
+    sort_by_time_id(&list);
+  }
+  auto check_sorted_lists =
+      [this](const std::unordered_map<uint64_t, std::vector<FactId>>& got,
+             const char* what) {
+        // anot-lint: ordered-ok validation only: each bucket's sortedness
+        // check is independent of every other bucket
+        for (const auto& [key, list] : got) {
+          (void)key;
+          ANOT_CHECK(!list.empty()) << what << " holds an empty bucket";
+          for (size_t i = 1; i < list.size(); ++i) {
+            const Fact& a = facts_[list[i - 1]];
+            const Fact& b = facts_[list[i]];
+            ANOT_CHECK(a.time < b.time ||
+                       (a.time == b.time && list[i - 1] < list[i]))
+                << what << " bucket not sorted by (time, id)";
+          }
+        }
+      };
+  check_sorted_lists(pair_index_, "pair index");
+  ANOT_CHECK(pair_index_.size() == want_pairs.size() &&
+             [&] {
+               // anot-lint: ordered-ok validation only: per-key lookup and
+               // compare, conjunction over all keys is order-independent
+               for (const auto& [key, list] : want_pairs) {
+                 auto it = pair_index_.find(key);
+                 if (it == pair_index_.end() || it->second != list) {
+                   return false;
+                 }
+               }
+               return true;
+             }())
+      << "pair index diverged";
+  auto check_role_index =
+      [](const std::unordered_map<EntityId, std::vector<FactId>>& got,
+         const std::unordered_map<EntityId, std::vector<FactId>>& want,
+         const char* what) {
+        ANOT_CHECK(got.size() == want.size()) << what << " size diverged";
+        // anot-lint: ordered-ok validation only: per-entity lookup and
+        // compare, order-independent
+        for (const auto& [e, list] : want) {
+          auto it = got.find(e);
+          ANOT_CHECK(it != got.end() && it->second == list)
+              << what << " diverged for entity " << e;
+        }
+      };
+  check_role_index(subject_index_, want_subjects, "subject index");
+  check_role_index(object_index_, want_objects, "object index");
+
+  ANOT_CHECK(relation_tokens_.size() == num_entities_)
+      << "relation-token table size diverged";
+  std::vector<std::unordered_set<uint32_t>> want_tokens(want_entities);
+  for (const Fact& f : facts_) {
+    want_tokens[f.subject].insert(OutRelationToken(f.relation));
+    want_tokens[f.object].insert(InRelationToken(f.relation));
+  }
+  for (EntityId e = 0; e < want_entities; ++e) {
+    ANOT_CHECK(relation_tokens_[e] == want_tokens[e])
+        << "relation tokens diverged for entity " << e;
+  }
+
+  ANOT_CHECK(triple_counts_.size() == want_triples.size())
+      << "triple-count table size diverged";
+  // anot-lint: ordered-ok validation only: per-triple lookup and compare,
+  // order-independent
+  for (const auto& [triple, count] : want_triples) {
+    auto it = triple_counts_.find(triple);
+    ANOT_CHECK(it != triple_counts_.end() && it->second == count)
+        << "triple count diverged for (" << triple.subject << ", "
+        << triple.relation << ", " << triple.object << ")";
+  }
+#endif  // ANOT_VALIDATE
+}
+
 }  // namespace anot

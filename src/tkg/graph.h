@@ -108,6 +108,14 @@ class TemporalKnowledgeGraph {
   std::string EntityName(EntityId e) const;
   std::string RelationName(RelationId r) const;
 
+  /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
+  /// recomputes every secondary index from facts_ and ANOT_CHECK-fails on
+  /// the first divergence — bucket/pair/role lists complete and sorted by
+  /// (time, id), relation-token sets exact, triple counts exact, universe
+  /// sizes and time bounds exact. O(|F| log |F|); call at commit
+  /// boundaries in tests, not per arrival.
+  void CheckInvariants() const;
+
  private:
   std::vector<Fact> facts_;
   size_t num_entities_ = 0;

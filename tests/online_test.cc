@@ -66,6 +66,7 @@ RunOutcome RunSequential(const TemporalKnowledgeGraph& train,
   for (const Fact& f : stream) {
     out.scores.push_back(system.ProcessArrival(f, &out.effects));
   }
+  ValidateAtCommitBoundary(system);
   out.refresh_count = system.refresh_count();
   out.num_facts = system.graph().num_facts();
   out.rules = system.rules().ToString();
@@ -87,6 +88,7 @@ RunOutcome RunBatched(const TemporalKnowledgeGraph& train,
         system.ProcessArrivalBatch(batch, &out.effects);
     out.scores.insert(out.scores.end(), scores.begin(), scores.end());
   }
+  ValidateAtCommitBoundary(system);
   out.refresh_count = system.refresh_count();
   out.num_facts = system.graph().num_facts();
   out.rules = system.rules().ToString();

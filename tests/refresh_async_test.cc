@@ -284,6 +284,9 @@ TEST_F(RefreshAsyncFixture, PostSwapStateBitIdenticalToSyncRefreshPlusReplay) {
       EXPECT_EQ(system.monitor().online_timestamps(),
                 expected.online_timestamps());
       EXPECT_EQ(system.monitor().ShouldRefresh(), expected.ShouldRefresh());
+      // The swap is a commit boundary: the adopted structures plus the
+      // replayed ingest window must be structurally coherent.
+      ValidateAtCommitBoundary(system);
     }
   }
 }
@@ -301,6 +304,8 @@ TEST_F(RefreshAsyncFixture, EmptyWindowSwapEqualsSynchronousRefresh) {
   EXPECT_TRUE(async.refresh_in_flight());
   EXPECT_TRUE(async.FinishRefresh());
   sync.Refresh();
+  ValidateAtCommitBoundary(async);
+  ValidateAtCommitBoundary(sync);
 
   EXPECT_EQ(async.refresh_count(), 1u);
   EXPECT_FALSE(async.refresh_in_flight());

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/anot.h"
 #include "core/scorer.h"
 
 namespace anot {
@@ -30,6 +31,14 @@ inline std::vector<size_t> ThreadCountsUnderTest(
     }
   }
   return fallback;
+}
+
+/// Commit-boundary invariant sweep for the serving suites: validates the
+/// full system (TKG, rule graph, monitor, updater) so structural
+/// corruption aborts at the run that caused it. A no-op without
+/// ANOT_VALIDATE. Call between arrivals/batches, never mid-mutation.
+inline void ValidateAtCommitBoundary(const AnoT& system) {
+  system.CheckInvariants();
 }
 
 /// Bitwise comparison of every Scores field (EXPECT_EQ on doubles: the

@@ -1,0 +1,435 @@
+#!/usr/bin/env python3
+"""Repo-custom determinism lint for the AnoT codebase.
+
+Every parallel path in this repo (offline build, batched serving, async
+refresh, speculative selection, sweeps) is pinned bit-identical to a serial
+reference.  The classes of code that have broken — or nearly broken — that
+contract are mechanical to spot:
+
+  unordered-iter   iteration over a std::unordered_{map,set,multimap,multiset}
+                   whose per-element effects can escape into merges,
+                   accumulation, or output.  Hash-table iteration order is
+                   unspecified and varies across libstdc++ versions, seeds,
+                   and insertion histories.
+  float-accum      a floating-point reduction (`x += ...` into a float/double)
+                   inside such a loop: even when the element *set* is fixed,
+                   float addition is not associative, so hash order changes
+                   the sum bit pattern.  Deterministic float reductions
+                   belong in an EntropyAccumulator-style replay log or a
+                   sorted collect-then-reduce.
+  pointer-key      std::{map,set,multimap,multiset} keyed by a pointer (or a
+                   std::less<T*> comparator): iteration order replays the
+                   allocator's address assignment, which varies run to run.
+
+The checker is a lexical (regex + balanced-scan) engine over the same
+patterns a clang-query AST matcher would bind: declarations and accessors
+with unordered types feed a symbol table; range-for / .begin() loops whose
+range resolves to that table are findings.  It is intentionally
+conservative: *every* unordered iteration must either be rewritten over a
+deterministic order or carry an audited-site annotation
+
+    // anot-lint: ordered-ok <why iteration order cannot escape>
+
+on the flagged line or the line directly above it.  The reason is
+mandatory; an annotation without one stays a finding.
+
+Usage:
+    determinism_lint.py [paths...]     lint .h/.cc files (dirs recurse);
+                                       exit 1 when findings remain
+    determinism_lint.py --self-test    run the fixture suite under
+                                       tools/lint_selftest/ (must_flag.cc
+                                       lines marked `// expect-flag: <rule>`
+                                       must each fire exactly that rule;
+                                       must_pass.cc must stay silent)
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<")
+POINTER_KEY_RE = re.compile(
+    r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[\w:]+\s*\*"
+)
+POINTER_LESS_RE = re.compile(r"\bstd\s*::\s*less\s*<\s*[\w:]+\s*\*\s*>")
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(&?\s*)?([A-Za-z_]\w*)\b")
+ANNOTATION_RE = re.compile(r"anot-lint:\s*ordered-ok(?:\s+(\S.*))?")
+EXPECT_RE = re.compile(r"expect-flag:\s*([\w-]+)")
+
+RULES = ("unordered-iter", "float-accum", "pointer-key")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line  # 1-based
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str) -> str:
+    """Replaces comment and string-literal bodies with spaces, preserving
+    offsets and newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
+            i = j
+        elif ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def scan_balanced_angles(text: str, open_pos: int) -> int:
+    """Given text[open_pos] == '<', returns the index one past the matching
+    '>' (template-argument context: only <> nest)."""
+    depth = 0
+    i = open_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+class SymbolTable:
+    """Identifiers that resolve to unordered containers: variable /
+    parameter / member names, and accessor functions returning one."""
+
+    def __init__(self) -> None:
+        self.variables: Set[str] = set()
+        self.functions: Set[str] = set()
+
+    def collect(self, code: str) -> None:
+        for m in UNORDERED_DECL_RE.finditer(code):
+            open_pos = code.index("<", m.start())
+            end = scan_balanced_angles(code, open_pos)
+            rest = code[end:]
+            dm = re.match(
+                r"\s*[&*]?\s*(?:const\s+)?([A-Za-z_]\w*)\s*([;,=({)\[]|$)",
+                rest,
+                re.MULTILINE,
+            )
+            if not dm:
+                continue
+            name, delim = dm.group(1), dm.group(2)
+            if delim == "(":
+                self.functions.add(name)
+            else:
+                self.variables.add(name)
+
+    def resolves_unordered(self, range_expr: str) -> bool:
+        expr = range_expr.strip().lstrip("*&").strip()
+        # Trailing call: obj.accessor() / accessor()
+        call = re.search(r"([A-Za-z_]\w*)\s*\(\s*\)\s*$", expr)
+        if call:
+            return call.group(1) in self.functions
+        tail = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+        return bool(tail) and tail.group(1) in self.variables
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def find_loop_body_span(code: str, close_paren: int) -> Tuple[int, int]:
+    """Extent of the loop body following a for(...) header: a braced block
+    or a single statement."""
+    i = close_paren + 1
+    n = len(code)
+    while i < n and code[i] in " \t\n":
+        i += 1
+    if i < n and code[i] == "{":
+        depth = 0
+        j = i
+        while j < n:
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return (i, j + 1)
+            j += 1
+        return (i, n)
+    j = code.find(";", i)
+    return (i, n if j < 0 else j + 1)
+
+
+def match_paren(code: str, open_pos: int) -> int:
+    depth = 0
+    for j in range(open_pos, len(code)):
+        if code[j] == "(":
+            depth += 1
+        elif code[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(code) - 1
+
+
+def top_level_colon(header: str) -> int:
+    """Position of a range-for ':' at paren/angle depth 0 (not '::')."""
+    depth = 0
+    i = 0
+    n = len(header)
+    while i < n:
+        c = header[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "<":
+            depth += 1
+        elif c == ">":
+            depth = max(0, depth - 1)
+        elif c == ":" and depth == 0:
+            if i + 1 < n and header[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and header[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+def collect_float_vars(code: str) -> Set[str]:
+    out: Set[str] = set()
+    for m in FLOAT_DECL_RE.finditer(code):
+        out.add(m.group(2))
+    return out
+
+
+def annotated(lines: List[str], lineno: int) -> Tuple[bool, Optional[str]]:
+    """Whether the 1-based flagged line, or the contiguous `//` comment
+    block directly above it, carries an ordered-ok annotation; returns
+    (found, reason)."""
+    if 1 <= lineno <= len(lines):
+        m = ANNOTATION_RE.search(lines[lineno - 1])
+        if m:
+            return True, m.group(1)
+    idx = lineno - 2
+    while 0 <= idx < len(lines) and lines[idx].strip().startswith("//"):
+        m = ANNOTATION_RE.search(lines[idx])
+        if m:
+            return True, m.group(1)
+        idx -= 1
+    return False, None
+
+
+def lint_file(path: str, text: str, symbols: SymbolTable) -> List[Finding]:
+    code = strip_comments(text)
+    lines = text.splitlines()
+    float_vars = collect_float_vars(code)
+    findings: List[Finding] = []
+
+    def emit(lineno: int, rule: str, message: str) -> None:
+        has_note, reason = annotated(lines, lineno)
+        if has_note and reason:
+            return  # audited site
+        if has_note and not reason:
+            message += " (ordered-ok annotation present but missing the" \
+                       " mandatory reason)"
+        findings.append(Finding(path, lineno, rule, message))
+
+    # ---- pointer-keyed ordering ------------------------------------------
+    for m in POINTER_KEY_RE.finditer(code):
+        emit(
+            line_of(code, m.start()),
+            "pointer-key",
+            "ordered container keyed by a pointer: iteration order replays "
+            "allocator addresses, which vary run to run",
+        )
+    for m in POINTER_LESS_RE.finditer(code):
+        emit(
+            line_of(code, m.start()),
+            "pointer-key",
+            "std::less over a pointer type orders by address, which varies "
+            "run to run",
+        )
+
+    # ---- unordered iteration ---------------------------------------------
+    for m in re.finditer(r"\bfor\s*\(", code):
+        open_paren = code.index("(", m.start())
+        close_paren = match_paren(code, open_paren)
+        header = code[open_paren + 1 : close_paren]
+        lineno = line_of(code, m.start())
+
+        range_expr = None
+        colon = top_level_colon(header)
+        if colon >= 0:
+            range_expr = header[colon + 1 :]
+        else:
+            it = re.search(
+                r"=\s*([A-Za-z_][\w.\->]*(?:\(\s*\))?)\s*[.]\s*c?begin\s*\(",
+                header,
+            )
+            if it:
+                range_expr = it.group(1)
+        if range_expr is None or not symbols.resolves_unordered(range_expr):
+            continue
+
+        body_begin, body_end = find_loop_body_span(code, close_paren)
+        body = code[body_begin:body_end]
+        accum = None
+        for fm in re.finditer(r"([A-Za-z_]\w*)\s*\+=", body):
+            if fm.group(1) in float_vars:
+                accum = fm.group(1)
+                break
+        if accum is not None:
+            emit(
+                lineno,
+                "float-accum",
+                f"floating-point reduction into '{accum}' over an unordered "
+                "container: float addition is not associative, so hash order "
+                "changes the sum — use a sorted collect-then-reduce or an "
+                "EntropyAccumulator replay log",
+            )
+        else:
+            emit(
+                lineno,
+                "unordered-iter",
+                "iteration over an unordered container: hash order is "
+                "unspecified — sort before the effects escape, or annotate "
+                "'// anot-lint: ordered-ok <reason>' after auditing",
+            )
+    return findings
+
+
+def load_files(paths: List[str]) -> Dict[str, str]:
+    files: Dict[str, str] = {}
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                        full = os.path.join(root, name)
+                        with open(full, encoding="utf-8") as f:
+                            files[full] = f.read()
+        else:
+            with open(p, encoding="utf-8") as f:
+                files[p] = f.read()
+    return dict(sorted(files.items()))
+
+
+def run_lint(paths: List[str]) -> List[Finding]:
+    files = load_files(paths)
+    # Pass 1: one shared symbol table, so a .cc iterating a member declared
+    # in its header (or an accessor like pair_sequences()) still resolves.
+    symbols = SymbolTable()
+    for text in files.values():
+        symbols.collect(strip_comments(text))
+    # Pass 2: findings.
+    findings: List[Finding] = []
+    for path, text in files.items():
+        findings.extend(lint_file(path, text, symbols))
+    return findings
+
+
+def self_test() -> int:
+    here = os.path.dirname(os.path.abspath(__file__))
+    fixture_dir = os.path.join(here, "lint_selftest")
+    must_flag = os.path.join(fixture_dir, "must_flag.cc")
+    must_pass = os.path.join(fixture_dir, "must_pass.cc")
+    failures: List[str] = []
+
+    # must_flag.cc: every `// expect-flag: <rule>` line fires exactly that
+    # rule, and nothing else fires.
+    with open(must_flag, encoding="utf-8") as f:
+        flag_lines = f.read().splitlines()
+    expected: Dict[int, str] = {}
+    for i, line in enumerate(flag_lines, start=1):
+        m = EXPECT_RE.search(line)
+        if m:
+            if m.group(1) not in RULES:
+                failures.append(f"{must_flag}:{i}: unknown rule in marker")
+            expected[i] = m.group(1)
+    got = {(f.line, f.rule) for f in run_lint([must_flag])}
+    for lineno, rule in sorted(expected.items()):
+        if (lineno, rule) not in got:
+            failures.append(
+                f"{must_flag}:{lineno}: expected [{rule}] did not fire"
+            )
+    for lineno, rule in sorted(got):
+        if expected.get(lineno) != rule:
+            failures.append(
+                f"{must_flag}:{lineno}: unexpected finding [{rule}]"
+            )
+
+    # must_pass.cc: silent.
+    for f in run_lint([must_pass]):
+        failures.append(f"must_pass fixture flagged: {f}")
+
+    if failures:
+        print("determinism_lint self-test FAILED:")
+        for msg in failures:
+            print("  " + msg)
+        return 1
+    print(
+        f"determinism_lint self-test OK: {len(expected)} must-flag fixtures "
+        "fired, must-pass fixtures silent"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", help=".h/.cc files or directories")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the fixture suite under tools/lint_selftest/",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.paths:
+        parser.error("no paths given (and --self-test not requested)")
+
+    findings = run_lint(args.paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print(
+            f"\n{len(findings)} determinism finding(s). Rewrite over a "
+            "deterministic order, or audit the site and annotate it with "
+            "'// anot-lint: ordered-ok <reason>'."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+// Self-test fixtures for tools/determinism_lint.py — the MUST-PASS half.
+// None of these may produce a finding: deterministic containers, sorted
+// collect-then-reduce, and properly annotated audited sites. This file is
+// a lint fixture, not part of the build.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace lint_fixture {
+
+// Ordered containers iterate deterministically.
+std::map<int, int> ordered_counts;
+std::set<std::pair<int, int>> ordered_pairs;  // value keys, not pointers
+
+int SumOrdered() {
+  int sum = 0;
+  for (const auto& [key, count] : ordered_counts) {
+    sum += count;
+  }
+  return sum;
+}
+
+// Vectors are deterministic, including float reductions over them.
+double SumVector(const std::vector<double>& values) {
+  double total = 0.0;
+  for (double v : values) {
+    total += v;
+  }
+  return total;
+}
+
+// The deterministic rewrite of hash-order iteration: collect, sort, then
+// let the order escape.
+std::vector<int> SortedKeys(const std::unordered_map<int, int>& counts) {
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  // anot-lint: ordered-ok keys are collected here and sorted below before
+  // any order-dependent use
+  for (const auto& [key, count] : counts) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// An audited site: order-insensitive effect (pure membership test), with
+// the annotation on the flagged line itself.
+bool ContainsNegative(const std::unordered_set<int>& seen) {
+  for (int v : seen) {  // anot-lint: ordered-ok existence check is order-insensitive
+    if (v < 0) return true;
+  }
+  return false;
+}
+
+// Lookups (find/count/at) on unordered containers are fine — only
+// iteration order is hazardous.
+int Lookup(const std::unordered_map<int, int>& counts, int key) {
+  auto it = counts.find(key);
+  return it == counts.end() ? 0 : it->second;
+}
+
+// Integer accumulation in hash order is order-insensitive (associative),
+// but still requires the audit annotation on the iteration itself.
+int SumCounts(const std::unordered_map<int, int>& counts) {
+  int sum = 0;
+  // anot-lint: ordered-ok integer addition is associative; the sum is
+  // order-independent
+  for (const auto& [key, count] : counts) {
+    sum += count;
+  }
+  return sum;
+}
+
+}  // namespace lint_fixture

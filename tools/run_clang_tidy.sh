@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over src/ using
+# the compile_commands.json exported by CMake.
+#
+# Usage:
+#   tools/run_clang_tidy.sh <build-dir> [file ...]
+#
+# With no file arguments every .cc under src/ is checked. CI passes the
+# changed files of the PR instead, so the job stays fast while local runs
+# can sweep the whole tree.
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <build-dir> [file ...]" >&2
+  exit 2
+fi
+
+build_dir=$1
+shift
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+tidy_bin=${CLANG_TIDY:-}
+if [[ -z "${tidy_bin}" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+      clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      tidy_bin=${candidate}
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy.sh: no clang-tidy binary found (set CLANG_TIDY)" >&2
+  exit 3
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: ${build_dir}/compile_commands.json missing —" \
+       "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on" \
+       "by default)" >&2
+  exit 3
+fi
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find "${repo_root}/src" -name '*.cc' | sort)
+fi
+
+# Keep only translation units that are actually in the compilation
+# database (headers and test-only files are covered transitively via
+# HeaderFilterRegex).
+checked=()
+for f in "${files[@]}"; do
+  abs=$(realpath "${f}")
+  if [[ "${abs}" == "${repo_root}/src/"*.cc ]] &&
+     grep -Fq "${abs}" "${build_dir}/compile_commands.json"; then
+    checked+=("${abs}")
+  fi
+done
+
+if [[ ${#checked[@]} -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no src/ translation units among the inputs —" \
+       "nothing to check"
+  exit 0
+fi
+
+echo "run_clang_tidy.sh: ${tidy_bin} over ${#checked[@]} file(s)"
+status=0
+for f in "${checked[@]}"; do
+  echo "  ${f#${repo_root}/}"
+  "${tidy_bin}" -p "${build_dir}" --quiet "${f}" || status=1
+done
+exit ${status}
