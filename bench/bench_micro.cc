@@ -60,6 +60,29 @@ void BM_TkgAddFact(benchmark::State& state) {
 }
 BENCHMARK(BM_TkgAddFact);
 
+// Dictionary probe throughput: string_view lookups against an interned
+// symbol table. The transparent-hash dense map must answer these without
+// allocating a temporary std::string per probe (the pre-overhaul
+// std::unordered_map<std::string, ...> could not).
+void BM_DictionaryProbe(benchmark::State& state) {
+  Dictionary dict;
+  std::vector<std::string> names;
+  names.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    names.push_back("entity_" + std::to_string(i * 37 % 4096));
+    dict.GetOrAdd(names.back());
+  }
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    for (const std::string& n : names) {
+      hits += dict.TryGet(std::string_view(n)).has_value();
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() * names.size());
+}
+BENCHMARK(BM_DictionaryProbe);
+
 void BM_TkgPairLookup(benchmark::State& state) {
   const auto& g = SharedGraph();
   uint64_t found = 0;

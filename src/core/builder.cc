@@ -370,7 +370,7 @@ RuleGraphBuilder::Output RuleGraphBuilder::Build(
   RuleGraph& rg = *out.rule_graph;
   // Recurrence of a rule: fraction of its entity pairs that repeat.
   auto is_recurrent = [&](const RuleCandidate& c) {
-    std::unordered_map<uint64_t, uint32_t> pair_counts;
+    dense_map<uint64_t, uint32_t> pair_counts;
     for (FactId f : c.assertions) {
       const Fact& fact = graph_.fact(f);
       ++pair_counts[PairKey(fact.subject, fact.object)];

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_set>
 
 #include "util/logging.h"
 
@@ -27,9 +26,9 @@ uint64_t EdgeCandidateKey(RuleEdgeKind kind, uint32_t head, uint32_t mid,
 struct ShardPool {
   uint32_t base = 0;  // global pool size when the phase started
   std::vector<RuleCandidate> rules;
-  std::unordered_map<AtomicRule, uint32_t, AtomicRuleHash> rule_index;
+  dense_map<AtomicRule, uint32_t, AtomicRuleHash> rule_index;
   std::vector<EdgeCandidate> edges;
-  std::unordered_map<uint64_t, uint32_t> edge_index;
+  dense_map<uint64_t, uint32_t> edge_index;
 };
 
 /// Combined-space EnsureRule: resolves against the frozen global pool
@@ -108,7 +107,7 @@ void MergeShardRules(ShardPool* shard, CandidatePool* pool,
 /// endpoints to final rule indices.
 void MergeShardEdges(ShardPool* shard, const std::vector<uint32_t>& to_global,
                      CandidatePool* pool,
-                     std::unordered_map<uint64_t, uint32_t>* edge_index) {
+                     dense_map<uint64_t, uint32_t>* edge_index) {
   for (EdgeCandidate& local : shard->edges) {
     local.head = RemapRuleIndex(local.head, shard->base, to_global);
     local.mid = RemapRuleIndex(local.mid, shard->base, to_global);
@@ -233,7 +232,9 @@ void CandidateGenerator::GenerateChainEdges(CandidatePool* pool,
         const Fact& tail_fact = graph_.fact(seq[n]);
         const Timestamp tail_time =
             AnchorTime(tail_fact, options_.tail_anchor);
-        std::unordered_set<RelationId> seen_heads;
+        // Bounded by max_pair_lag entries, so a linear scan over inline
+        // storage beats a hash probe here.
+        small_vec<RelationId, 16> seen_heads;
         const size_t lookback = std::min(n, options_.max_pair_lag);
         for (size_t back = 1; back <= lookback; ++back) {
           const size_t m = n - back;
@@ -243,7 +244,11 @@ void CandidateGenerator::GenerateChainEdges(CandidatePool* pool,
           if (head_time > tail_time) continue;
           // Most recent occurrence of each head relation only: one
           // assertion per (edge, tail fact).
-          if (!seen_heads.insert(head_fact.relation).second) continue;
+          if (std::find(seen_heads.begin(), seen_heads.end(),
+                        head_fact.relation) != seen_heads.end()) {
+            continue;
+          }
+          seen_heads.push_back(head_fact.relation);
           const Timestamp span = tail_time - head_time;
           for (CategoryId cs : subject_cats) {
             for (CategoryId co : object_cats) {
@@ -263,7 +268,7 @@ void CandidateGenerator::GenerateChainEdges(CandidatePool* pool,
     }
   });
 
-  std::unordered_map<uint64_t, uint32_t> edge_index;
+  dense_map<uint64_t, uint32_t> edge_index;
   edge_index.reserve(pool->edges.size());
   for (uint32_t i = 0; i < pool->edges.size(); ++i) {
     const EdgeCandidate& e = pool->edges[i];
@@ -309,7 +314,7 @@ void CandidateGenerator::GenerateTriadicEdges(CandidatePool* pool,
           });
       size_t emitted = 0;
       size_t scanned = 0;
-      std::unordered_set<uint64_t> local_edges;
+      dense_set<uint64_t> local_edges;
       for (auto rit = std::make_reverse_iterator(upper);
            rit != s_facts->rend() &&
            scanned < options_.max_instantiation_scan;
@@ -370,7 +375,7 @@ void CandidateGenerator::GenerateTriadicEdges(CandidatePool* pool,
     }
   });
 
-  std::unordered_map<uint64_t, uint32_t> edge_index;
+  dense_map<uint64_t, uint32_t> edge_index;
   edge_index.reserve(pool->edges.size());
   for (uint32_t i = 0; i < pool->edges.size(); ++i) {
     const EdgeCandidate& e = pool->edges[i];

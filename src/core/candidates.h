@@ -1,6 +1,5 @@
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "core/options.h"
@@ -8,6 +7,7 @@
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/containers.h"
 #include "util/thread_pool.h"
 
 namespace anot {
@@ -86,7 +86,7 @@ struct CandidatePool {
   std::vector<RuleCandidate> rules;
   std::vector<EdgeCandidate> edges;
   /// rule -> index in `rules`.
-  std::unordered_map<AtomicRule, uint32_t, AtomicRuleHash> rule_index;
+  dense_map<AtomicRule, uint32_t, AtomicRuleHash> rule_index;
 };
 
 /// \brief Generates candidate atomic rules and rule edges (§4.3.2).

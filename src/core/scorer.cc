@@ -32,8 +32,8 @@ bool Scorer::RuleMatchesFact(const AtomicRule& rule, EntityId subject,
   return std::binary_search(co.begin(), co.end(), rule.object_category);
 }
 
-std::vector<RuleId> Scorer::MapToRules(const Fact& fact) const {
-  std::vector<RuleId> mapped;
+small_vec<RuleId, 8> Scorer::MapToRules(const Fact& fact) const {
+  small_vec<RuleId, 8> mapped;
   for (CategoryId cs : categories_->Categories(fact.subject)) {
     for (CategoryId co : categories_->Categories(fact.object)) {
       auto id = rules_->FindRule(AtomicRule{cs, fact.relation, co});
@@ -224,7 +224,7 @@ Scores Scorer::Score(const Fact& fact, Evidence* evidence,
   Scores scores;
 
   // ---- Static score (Eq. 9) ----------------------------------------------
-  const std::vector<RuleId> mapped = MapToRules(fact);
+  const auto mapped = MapToRules(fact);
   for (RuleId id : mapped) {
     const bool is_static = rules_->static_selected(id);
     if (is_static) scores.static_support += RuleWeight(id);

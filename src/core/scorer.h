@@ -7,6 +7,7 @@
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/containers.h"
 
 namespace anot {
 
@@ -103,8 +104,10 @@ class Scorer {
   Scores Score(const Fact& fact, Evidence* evidence = nullptr,
                FactId exclude_witness = kInvalidId) const;
 
-  /// Rule nodes the fact maps to (any selection status).
-  std::vector<RuleId> MapToRules(const Fact& fact) const;
+  /// Rule nodes the fact maps to (any selection status). Sorted ascending,
+  /// deduplicated; inline storage covers the typical |C(s)|·|C(o)| fan-out
+  /// so the per-arrival mapping allocates nothing.
+  small_vec<RuleId, 8> MapToRules(const Fact& fact) const;
 
   /// Tries to instantiate `edge` as a precursor of `fact`: is there
   /// concrete prior knowledge matching the edge's head (and mid) pattern

@@ -56,7 +56,7 @@ void Updater::ErasePendingRule(const AtomicRule& rule) {
   auto it = pending_rules_.find(rule);
   if (it == pending_rules_.end()) return;
   pending_lru_.erase(it->second.lru);
-  pending_rules_.erase(it);
+  pending_rules_.erase(rule);
 }
 
 void Updater::CheckInvariants() const {

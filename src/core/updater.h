@@ -1,13 +1,13 @@
 #pragma once
 
 #include <list>
-#include <unordered_map>
 
 #include "core/options.h"
 #include "core/scorer.h"
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/containers.h"
 
 namespace anot {
 
@@ -86,7 +86,7 @@ class Updater {
     uint32_t support = 0;
     std::list<AtomicRule>::iterator lru;
   };
-  std::unordered_map<AtomicRule, PendingRule, AtomicRuleHash> pending_rules_;
+  dense_map<AtomicRule, PendingRule, AtomicRuleHash> pending_rules_;
   std::list<AtomicRule> pending_lru_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/logging.h"
 #include "util/string_util.h"

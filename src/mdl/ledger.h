@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tkg/types.h"
+#include "util/containers.h"
 
 namespace anot {
 
@@ -107,7 +108,11 @@ class NegativeErrorLedger {
   double tier2_universe_;
   double total_cost_ = 0.0;
   uint64_t epoch_ = 0;
-  std::unordered_map<Timestamp, Counters> per_timestamp_;
+  // dense_map: the greedy builder probes a timestamp's counters once per
+  // candidate delta, and CostDelta previews touch a handful of timestamps
+  // per call. (The unordered_map in the CostDelta overload above is the
+  // caller's container, part of the public API — unrelated to storage.)
+  dense_map<Timestamp, Counters> per_timestamp_;
 };
 
 }  // namespace anot

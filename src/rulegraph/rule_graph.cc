@@ -8,7 +8,7 @@
 namespace anot {
 
 namespace {
-const std::vector<RuleEdgeId> kNoEdges;
+const RuleGraph::EdgeList kNoEdges;
 }
 
 RuleId RuleGraph::AddRule(const AtomicRule& rule, bool static_selected) {
@@ -80,12 +80,12 @@ RuleEdgeId RuleGraph::AddEdge(const RuleEdge& edge) {
   return id;
 }
 
-const std::vector<RuleEdgeId>& RuleGraph::InEdges(RuleId rule) const {
+const RuleGraph::EdgeList& RuleGraph::InEdges(RuleId rule) const {
   if (rule >= in_edges_.size()) return kNoEdges;
   return in_edges_[rule];
 }
 
-const std::vector<RuleEdgeId>& RuleGraph::OutEdges(RuleId rule) const {
+const RuleGraph::EdgeList& RuleGraph::OutEdges(RuleId rule) const {
   if (rule >= out_edges_.size()) return kNoEdges;
   return out_edges_[rule];
 }
@@ -162,8 +162,12 @@ void RuleGraph::CheckInvariants() const {
   }
   // AddEdge appends adjacency entries in edge-id order, so the recomputed
   // lists must match exactly (content and order).
-  ANOT_CHECK(in_edges_ == want_in) << "in-edge adjacency diverged";
-  ANOT_CHECK(out_edges_ == want_out) << "out-edge adjacency diverged";
+  for (RuleId id = 0; id < n; ++id) {
+    ANOT_CHECK(in_edges_[id] == want_in[id])
+        << "in-edge adjacency diverged for rule " << id;
+    ANOT_CHECK(out_edges_[id] == want_out[id])
+        << "out-edge adjacency diverged for rule " << id;
+  }
 #endif  // ANOT_VALIDATE
 }
 

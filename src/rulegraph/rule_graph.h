@@ -2,10 +2,10 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "tkg/types.h"
+#include "util/containers.h"
 
 namespace anot {
 
@@ -44,8 +44,10 @@ struct RuleEdge {
   RuleId head = kInvalidId;
   RuleId mid = kInvalidId;  // kInvalidId for chain edges
   RuleId tail = kInvalidId;
-  /// Occurrence timespans of the described fact pairs, ascending.
-  std::vector<Timestamp> timespans;
+  /// Occurrence timespans of the described fact pairs, ascending. Most
+  /// edges preserve a handful of spans; the inline storage keeps the
+  /// scorer's per-edge agreement scans off the heap.
+  small_vec<Timestamp, 8> timespans;
   /// Number of correct assertions |A_e| observed at selection time.
   uint32_t support = 0;
 };
@@ -92,10 +94,14 @@ class RuleGraph {
   const RuleEdge& edge(RuleEdgeId id) const { return edges_[id]; }
   RuleEdge& mutable_edge(RuleEdgeId id) { return edges_[id]; }
 
+  /// Per-rule adjacency lists: small_vec keeps the common few-edge case
+  /// inline, so the scorer's evidence walk chases no per-rule heap nodes.
+  using EdgeList = small_vec<RuleEdgeId, 4>;
+
   /// Edges whose tail is `rule` (precursor side of temporal scoring).
-  const std::vector<RuleEdgeId>& InEdges(RuleId rule) const;
+  const EdgeList& InEdges(RuleId rule) const;
   /// Edges whose head or mid is `rule` (successor side; violation checks).
-  const std::vector<RuleEdgeId>& OutEdges(RuleId rule) const;
+  const EdgeList& OutEdges(RuleId rule) const;
 
   /// Appends an observed timespan to edge `id`, keeping T(e) sorted
   /// (updater: timespan distribution changes).
@@ -124,12 +130,12 @@ class RuleGraph {
   std::vector<bool> static_selected_;
   std::vector<bool> recurrent_;
   size_t num_static_ = 0;
-  std::unordered_map<AtomicRule, RuleId, AtomicRuleHash> rule_index_;
+  dense_map<AtomicRule, RuleId, AtomicRuleHash> rule_index_;
 
   std::vector<RuleEdge> edges_;
-  std::unordered_map<uint64_t, RuleEdgeId> edge_index_;
-  std::vector<std::vector<RuleEdgeId>> in_edges_;
-  std::vector<std::vector<RuleEdgeId>> out_edges_;
+  dense_map<uint64_t, RuleEdgeId> edge_index_;
+  std::vector<EdgeList> in_edges_;
+  std::vector<EdgeList> out_edges_;
 };
 
 }  // namespace anot

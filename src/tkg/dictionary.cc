@@ -5,16 +5,14 @@
 namespace anot {
 
 uint32_t Dictionary::GetOrAdd(std::string_view name) {
-  auto it = index_.find(std::string(name));
-  if (it != index_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(names_.size());
-  names_.emplace_back(name);
-  index_.emplace(names_.back(), id);
-  return id;
+  const uint32_t next_id = static_cast<uint32_t>(names_.size());
+  auto [it, inserted] = index_.try_emplace(name, next_id);
+  if (inserted) names_.emplace_back(it->first);
+  return it->second;
 }
 
 std::optional<uint32_t> Dictionary::TryGet(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
@@ -22,6 +20,11 @@ std::optional<uint32_t> Dictionary::TryGet(std::string_view name) const {
 const std::string& Dictionary::Name(uint32_t id) const {
   ANOT_CHECK(id < names_.size()) << "dictionary id out of range: " << id;
   return names_[id];
+}
+
+void Dictionary::Reserve(size_t n) {
+  index_.reserve(n);
+  names_.reserve(n);
 }
 
 }  // namespace anot

@@ -3,8 +3,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "util/containers.h"
 
 namespace anot {
 
@@ -12,6 +13,10 @@ namespace anot {
 ///
 /// Ids are assigned in first-seen order and are stable for the lifetime of
 /// the dictionary, which makes them safe to persist alongside fact files.
+///
+/// The index is a string_map with a transparent string_view hasher: probes
+/// (GetOrAdd on a known name, TryGet) never allocate — a std::string key
+/// is built only when a genuinely new name is interned.
 class Dictionary {
  public:
   /// Returns the id of `name`, inserting it if unseen.
@@ -23,11 +28,14 @@ class Dictionary {
   /// Returns the interned name for `id`. `id` must be < size().
   const std::string& Name(uint32_t id) const;
 
+  /// Pre-sizes the index and name table for `n` symbols (bulk loads).
+  void Reserve(size_t n);
+
   size_t size() const { return names_.size(); }
   bool empty() const { return names_.empty(); }
 
  private:
-  std::unordered_map<std::string, uint32_t> index_;
+  string_map<uint32_t> index_;
   std::vector<std::string> names_;
 };
 

@@ -8,7 +8,7 @@ namespace anot {
 
 namespace {
 const std::vector<FactId> kEmptyFactList;
-const std::unordered_set<uint32_t> kEmptyTokenSet;
+const TemporalKnowledgeGraph::TokenSet kEmptyTokenSet;
 }  // namespace
 
 void TemporalKnowledgeGraph::InsertSortedByTime(std::vector<FactId>* list,
@@ -106,7 +106,7 @@ const std::vector<FactId>* TemporalKnowledgeGraph::FactsByObject(
   return it == object_index_.end() ? nullptr : &it->second;
 }
 
-const std::unordered_set<uint32_t>& TemporalKnowledgeGraph::RelationTokens(
+const TemporalKnowledgeGraph::TokenSet& TemporalKnowledgeGraph::RelationTokens(
     EntityId e) const {
   if (e >= relation_tokens_.size()) return kEmptyTokenSet;
   return relation_tokens_[e];
@@ -125,6 +125,20 @@ uint32_t TemporalKnowledgeGraph::TripleCount(EntityId s, RelationId r,
                                              EntityId o) const {
   auto it = triple_counts_.find(Triple{s, r, o});
   return it == triple_counts_.end() ? 0 : it->second;
+}
+
+void TemporalKnowledgeGraph::Reserve(size_t expected_facts) {
+  facts_.reserve(expected_facts);
+  // Distinct facts / triples can approach the fact count, so their tables
+  // get the full bound (zero rehashes during the load).
+  fact_set_.reserve(expected_facts);
+  triple_counts_.reserve(expected_facts);
+  // Distinct pairs and entities sit well below the fact count on every
+  // real TKG; heuristic pre-sizes absorb most growth without committing
+  // a fact-count slot array per index (growth still works past them).
+  pair_index_.reserve(expected_facts / 2 + 1);
+  subject_index_.reserve(expected_facts / 8 + 1);
+  object_index_.reserve(expected_facts / 8 + 1);
 }
 
 std::string TemporalKnowledgeGraph::EntityName(EntityId e) const {
@@ -148,10 +162,10 @@ void TemporalKnowledgeGraph::CheckInvariants() const {
   Timestamp want_min = kNoTimestamp;
   Timestamp want_max = kNoTimestamp;
   std::map<Timestamp, std::vector<FactId>> want_by_time;
-  std::unordered_map<uint64_t, std::vector<FactId>> want_pairs;
-  std::unordered_map<EntityId, std::vector<FactId>> want_subjects;
-  std::unordered_map<EntityId, std::vector<FactId>> want_objects;
-  std::unordered_map<Triple, uint32_t, TripleHash> want_triples;
+  dense_map<uint64_t, std::vector<FactId>> want_pairs;
+  dense_map<EntityId, std::vector<FactId>> want_subjects;
+  dense_map<EntityId, std::vector<FactId>> want_objects;
+  dense_map<Triple, uint32_t, TripleHash> want_triples;
 
   for (FactId id = 0; id < facts_.size(); ++id) {
     const Fact& f = facts_[id];
@@ -214,7 +228,7 @@ void TemporalKnowledgeGraph::CheckInvariants() const {
     sort_by_time_id(&list);
   }
   auto check_sorted_lists =
-      [this](const std::unordered_map<uint64_t, std::vector<FactId>>& got,
+      [this](const dense_map<uint64_t, std::vector<FactId>>& got,
              const char* what) {
         // anot-lint: ordered-ok validation only: each bucket's sortedness
         // check is independent of every other bucket
@@ -245,8 +259,8 @@ void TemporalKnowledgeGraph::CheckInvariants() const {
              }())
       << "pair index diverged";
   auto check_role_index =
-      [](const std::unordered_map<EntityId, std::vector<FactId>>& got,
-         const std::unordered_map<EntityId, std::vector<FactId>>& want,
+      [](const dense_map<EntityId, std::vector<FactId>>& got,
+         const dense_map<EntityId, std::vector<FactId>>& want,
          const char* what) {
         ANOT_CHECK(got.size() == want.size()) << what << " size diverged";
         // anot-lint: ordered-ok validation only: per-entity lookup and
@@ -262,7 +276,7 @@ void TemporalKnowledgeGraph::CheckInvariants() const {
 
   ANOT_CHECK(relation_tokens_.size() == num_entities_)
       << "relation-token table size diverged";
-  std::vector<std::unordered_set<uint32_t>> want_tokens(want_entities);
+  std::vector<TokenSet> want_tokens(want_entities);
   for (const Fact& f : facts_) {
     want_tokens[f.subject].insert(OutRelationToken(f.relation));
     want_tokens[f.object].insert(InRelationToken(f.relation));

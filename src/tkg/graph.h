@@ -3,12 +3,11 @@
 #include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "tkg/dictionary.h"
 #include "tkg/types.h"
+#include "util/containers.h"
 
 namespace anot {
 
@@ -69,9 +68,10 @@ class TemporalKnowledgeGraph {
   const std::vector<FactId>* FactsForPair(EntityId s, EntityId o) const;
 
   /// All pair interaction sequences, keyed by PairKey(s, o). Iteration
-  /// order is unspecified; callers needing determinism must sort.
-  const std::unordered_map<uint64_t, std::vector<FactId>>& pair_sequences()
-      const {
+  /// order is the pairs' first-interaction order (a container-history
+  /// artifact, deterministic but not meaningful); callers needing a
+  /// canonical order must still sort.
+  const dense_map<uint64_t, std::vector<FactId>>& pair_sequences() const {
     return pair_index_;
   }
 
@@ -81,7 +81,11 @@ class TemporalKnowledgeGraph {
 
   /// Directed relation tokens R(e) the entity has interacted with
   /// (OutRelationToken for subject roles, InRelationToken for object roles).
-  const std::unordered_set<uint32_t>& RelationTokens(EntityId e) const;
+  /// Sets are tiny (≤ 2·|R| entries) and probe-heavy, so they are sorted
+  /// flat sets: ascending iteration, binary-search membership, inline
+  /// storage for the common small case.
+  using TokenSet = sorted_small_set<uint32_t, 8>;
+  const TokenSet& RelationTokens(EntityId e) const;
 
   /// Exact membership of a (s, r, o, t[, end]) fact.
   bool Contains(const Fact& fact) const;
@@ -89,6 +93,12 @@ class TemporalKnowledgeGraph {
   bool ContainsTriple(EntityId s, RelationId r, EntityId o) const;
   /// Number of facts carrying the triple (s, r, o).
   uint32_t TripleCount(EntityId s, RelationId r, EntityId o) const;
+
+  /// Pre-sizes the fact log and every hash-backed secondary index for
+  /// `expected_facts` appends, so bulk loads (TkgIo::LoadTsv) avoid
+  /// rehash/regrow churn. The by-time index is tree-backed and needs no
+  /// reservation. Safe to call at any point; never shrinks.
+  void Reserve(size_t expected_facts);
 
   Timestamp min_time() const { return min_time_; }
   Timestamp max_time() const { return max_time_; }
@@ -124,13 +134,18 @@ class TemporalKnowledgeGraph {
   Timestamp min_time_ = kNoTimestamp;
   Timestamp max_time_ = kNoTimestamp;
 
+  // by_time_ stays a std::map: split/monitor/candidate passes consume it
+  // through ordered ascending iteration, which a hash table cannot serve
+  // without a sort per scan. The five hash-backed indexes below are
+  // dense_map/dense_set (open addressing, contiguous slots) — the
+  // scorer/updater hot path probes them per arrival.
   std::map<Timestamp, std::vector<FactId>> by_time_;
-  std::unordered_map<uint64_t, std::vector<FactId>> pair_index_;
-  std::unordered_map<EntityId, std::vector<FactId>> subject_index_;
-  std::unordered_map<EntityId, std::vector<FactId>> object_index_;
-  std::vector<std::unordered_set<uint32_t>> relation_tokens_;
-  std::unordered_map<Triple, uint32_t, TripleHash> triple_counts_;
-  std::unordered_set<Fact, FactHash> fact_set_;
+  dense_map<uint64_t, std::vector<FactId>> pair_index_;
+  dense_map<EntityId, std::vector<FactId>> subject_index_;
+  dense_map<EntityId, std::vector<FactId>> object_index_;
+  std::vector<TokenSet> relation_tokens_;
+  dense_map<Triple, uint32_t, TripleHash> triple_counts_;
+  dense_set<Fact, FactHash> fact_set_;
 
   Dictionary entity_dict_;
   Dictionary relation_dict_;

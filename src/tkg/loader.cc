@@ -20,6 +20,18 @@ int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
   return era * 146097 + static_cast<int64_t>(doe) - 719468;
 }
 
+bool IsLeapYear(int64_t y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+/// Number of days in month `m` (1-12) of year `y`, Gregorian.
+int64_t DaysInMonth(int64_t y, int64_t m) {
+  static constexpr int64_t kDays[12] = {31, 28, 31, 30, 31, 30,
+                                        31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeapYear(y)) return 29;
+  return kDays[m - 1];
+}
+
 }  // namespace
 
 Result<Timestamp> TkgIo::ParseTime(const std::string& field) {
@@ -39,6 +51,18 @@ Result<Timestamp> TkgIo::ParseTime(const std::string& field) {
     if (*end != '\0' || d < 1 || d > 31) {
       return Status::InvalidArgument("bad day in date: " + field);
     }
+    // Reject impossible calendar dates (2023-02-31, 2021-04-31, Feb 29 in
+    // a non-leap year, ...). DaysFromCivil would silently normalize them
+    // into the next month, loading a fact at a timestamp that never
+    // appears in the source data.
+    if (d > DaysInMonth(y, m)) {
+      return Status::InvalidArgument(
+          StrFormat("impossible day of month in date: %s (month %lld has "
+                    "%lld days in %lld)",
+                    field.c_str(), static_cast<long long>(m),
+                    static_cast<long long>(DaysInMonth(y, m)),
+                    static_cast<long long>(y)));
+    }
     return DaysFromCivil(y, static_cast<unsigned>(m),
                          static_cast<unsigned>(d));
   }
@@ -53,6 +77,10 @@ Result<Timestamp> TkgIo::ParseTime(const std::string& field) {
 Result<std::unique_ptr<TemporalKnowledgeGraph>> TkgIo::LoadTsv(
     const std::string& path) {
   auto graph = std::make_unique<TemporalKnowledgeGraph>();
+  // Pre-size the fact log and secondary indexes from a cheap newline
+  // count so multi-million-fact loads perform no rehash/regrow churn.
+  const size_t estimated_rows = TsvReader::EstimateRows(path);
+  if (estimated_rows > 0) graph->Reserve(estimated_rows);
   size_t expected_arity = 0;
   size_t line_no = 0;
   Status st = TsvReader::ForEachRow(

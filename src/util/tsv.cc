@@ -24,6 +24,25 @@ Status TsvReader::ForEachRow(
   return Status::OK();
 }
 
+size_t TsvReader::EstimateRows(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return 0;
+  char buf[1 << 16];
+  size_t rows = 0;
+  bool last_char_was_newline = true;
+  while (in) {
+    in.read(buf, sizeof(buf));
+    const std::streamsize got = in.gcount();
+    for (std::streamsize i = 0; i < got; ++i) {
+      rows += buf[i] == '\n';
+      last_char_was_newline = buf[i] == '\n';
+    }
+  }
+  // A final line without a trailing newline is still a row.
+  if (!last_char_was_newline) ++rows;
+  return rows;
+}
+
 Status TsvWriter::WriteAll(
     const std::string& path,
     const std::vector<std::vector<std::string>>& rows) {

@@ -22,6 +22,13 @@ class TsvReader {
   static Status ForEachRow(
       const std::string& path,
       const std::function<Status(const std::vector<std::string>&)>& row_cb);
+
+  /// Cheap upper-bound estimate of the number of data rows in `path`:
+  /// a buffered newline count, no splitting or allocation per line.
+  /// Comment/blank lines are counted too (it is a reserve hint, not a
+  /// parse). Returns 0 when the file cannot be opened — the subsequent
+  /// real read reports the error.
+  static size_t EstimateRows(const std::string& path);
 };
 
 class TsvWriter {

@@ -32,6 +32,36 @@ TEST(DictionaryTest, TryGetMissing) {
   EXPECT_FALSE(dict.TryGet("y").has_value());
 }
 
+TEST(DictionaryTest, HeterogeneousStringViewLookups) {
+  Dictionary dict;
+  // Interning and probing through every string-ish spelling must agree:
+  // the transparent hasher compares string_views, never a temporary
+  // std::string.
+  const std::string owned = "barack_obama";
+  EXPECT_EQ(dict.GetOrAdd(owned), 0u);
+  EXPECT_EQ(dict.GetOrAdd(std::string_view("barack_obama")), 0u);
+  EXPECT_EQ(dict.GetOrAdd("barack_obama"), 0u);
+  ASSERT_TRUE(dict.TryGet(std::string_view("barack_obama")).has_value());
+  EXPECT_EQ(*dict.TryGet(std::string_view("barack_obama")), 0u);
+  EXPECT_EQ(*dict.TryGet("barack_obama"), 0u);
+  // A view into a larger buffer (no NUL terminator at the end of the
+  // token) — exactly what a zero-copy TSV scanner would probe with.
+  const std::string line = "barack_obama\tpresident_of\tusa";
+  EXPECT_EQ(*dict.TryGet(std::string_view(line).substr(0, 12)), 0u);
+  EXPECT_FALSE(dict.TryGet(std::string_view(line).substr(0, 6)).has_value());
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.Name(0), "barack_obama");
+}
+
+TEST(DictionaryTest, ReserveKeepsContents) {
+  Dictionary dict;
+  dict.GetOrAdd("a");
+  dict.Reserve(1000);
+  EXPECT_EQ(dict.GetOrAdd("a"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("b"), 1u);
+  EXPECT_EQ(dict.Name(0), "a");
+}
+
 // ----------------------------------------------------------------- types
 
 TEST(TypesTest, DirectedRelationTokens) {
@@ -185,6 +215,71 @@ TEST(LoaderTest, ParseTimeIntegerAndIsoDate) {
   EXPECT_FALSE(TkgIo::ParseTime("not-a-date").ok());
   EXPECT_FALSE(TkgIo::ParseTime("").ok());
   EXPECT_FALSE(TkgIo::ParseTime("2020-13-01").ok());
+}
+
+TEST(LoaderTest, ParseTimeRejectsImpossibleCalendarDates) {
+  // Regression: DaysFromCivil silently normalizes day-of-month overflow
+  // (2023-02-31 -> 2023-03-03), so these used to load "successfully" at
+  // a timestamp not present in the source data.
+  EXPECT_FALSE(TkgIo::ParseTime("2023-02-31").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("2023-02-30").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("2021-04-31").ok());  // April has 30 days
+  EXPECT_FALSE(TkgIo::ParseTime("2023-02-29").ok());  // not a leap year
+  EXPECT_FALSE(TkgIo::ParseTime("1900-02-29").ok());  // century non-leap
+  // The valid leap-day neighbors stay accepted.
+  EXPECT_TRUE(TkgIo::ParseTime("2024-02-29").ok());   // leap year
+  EXPECT_TRUE(TkgIo::ParseTime("2000-02-29").ok());   // 400-year leap
+  EXPECT_TRUE(TkgIo::ParseTime("2023-02-28").ok());
+  EXPECT_TRUE(TkgIo::ParseTime("2021-04-30").ok());
+  EXPECT_TRUE(TkgIo::ParseTime("2023-12-31").ok());
+  // Leap-day arithmetic stays exact: 2024-02-29 and 2024-03-01 are
+  // adjacent days.
+  EXPECT_EQ(TkgIo::ParseTime("2024-03-01").value(),
+            TkgIo::ParseTime("2024-02-29").value() + 1);
+}
+
+TEST(LoaderTest, RejectsImpossibleDateInTsvRow) {
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_baddate.tsv").string();
+  {
+    std::ofstream out(path);
+    out << "a\tr\tb\t2023-02-31\n";
+  }
+  auto loaded = TkgIo::LoadTsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(LoaderTest, LoadTsvGoldenIdsAndTimestamps) {
+  // Golden check that the container overhaul (pre-sizing, dense indexes,
+  // transparent interning) left loader semantics untouched: ids are
+  // assigned in first-seen order and timestamps parse to the same values.
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_golden.tsv").string();
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "obama\twin_election\tusa\t1970-01-02\n"
+        << "china\thost_visit\tiran\t12\n"
+        << "obama\tpresident_of\tusa\t15\n";
+  }
+  auto loaded = TkgIo::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const TemporalKnowledgeGraph& g = *loaded.value();
+  ASSERT_EQ(g.num_facts(), 3u);
+  // Entity ids in first-seen order: obama=0, usa=1, china=2, iran=3.
+  EXPECT_EQ(*g.entity_dict().TryGet("obama"), 0u);
+  EXPECT_EQ(*g.entity_dict().TryGet("usa"), 1u);
+  EXPECT_EQ(*g.entity_dict().TryGet("china"), 2u);
+  EXPECT_EQ(*g.entity_dict().TryGet("iran"), 3u);
+  EXPECT_EQ(*g.relation_dict().TryGet("win_election"), 0u);
+  EXPECT_EQ(*g.relation_dict().TryGet("host_visit"), 1u);
+  EXPECT_EQ(*g.relation_dict().TryGet("president_of"), 2u);
+  EXPECT_EQ(g.fact(0), Fact(0, 0, 1, 1));  // 1970-01-02 == day 1
+  EXPECT_EQ(g.fact(1), Fact(2, 1, 3, 12));
+  EXPECT_EQ(g.fact(2), Fact(0, 2, 1, 15));
+  g.CheckInvariants();
+  std::filesystem::remove(path);
 }
 
 TEST(LoaderTest, QuadrupleRoundTrip) {

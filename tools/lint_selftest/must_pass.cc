@@ -76,4 +76,31 @@ int SumCounts(const std::unordered_map<int, int>& counts) {
   return sum;
 }
 
+// The vendored dense containers (util/containers.h) iterate in insertion
+// order — a deterministic function of the operation history, never of
+// hash seeds or library versions — so the lint must NOT treat them as
+// unordered containers: bare iteration (even a float reduction) needs no
+// annotation.
+anot::dense_map<int, double> dense_counts;
+anot::dense_set<int> dense_seen;
+anot::string_map<int> dense_names;
+anot::small_vec<int, 4> inline_list;
+
+double SumDense() {
+  double total = 0.0;
+  for (const auto& [key, count] : dense_counts) {
+    total += count;  // insertion-order iteration: deterministic
+  }
+  for (int v : dense_seen) {
+    total += v;
+  }
+  for (const auto& [name, id] : dense_names) {
+    total += id;
+  }
+  for (int v : inline_list) {
+    total += v;
+  }
+  return total;
+}
+
 }  // namespace lint_fixture
