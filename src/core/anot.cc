@@ -28,13 +28,34 @@ std::unique_ptr<TemporalKnowledgeGraph> CopyGraph(
 
 /// One double-buffered rebuild. The worker thread touches only this
 /// struct (snapshot in, built structures out) — never the owning AnoT,
-/// whose address changes under moves. `ready` is the release/acquire
-/// handshake: the worker publishes `built` before setting it; the serving
-/// thread reads `built` only after observing it true.
+/// whose address changes under moves. This is a lock-free single-producer
+/// (worker) / single-consumer (serving thread) handoff, so the ownership
+/// contract lives in the two atomics below instead of a mutex; the
+/// concurrency lint requires every atomic to carry its `anot-sync:`
+/// contract, and the field-by-field ownership is spelled out per member.
 struct AnoT::AsyncRefresh {
+  /// Written by the serving thread before the worker starts (the thread
+  /// constructor provides the happens-before); read-only input to the
+  /// worker after that; re-read by the serving thread only after the
+  /// `ready` acquire (or the join in CompleteRefresh), when the worker
+  /// has finished with it.
   std::unique_ptr<TemporalKnowledgeGraph> snapshot;
+  /// Worker-owned while the build runs. Published to the serving thread
+  /// by the `ready` release store; the serving thread must not touch it
+  /// before an acquire load of `ready` returns true (or the worker is
+  /// joined, which orders at least as strongly).
   BuiltStructures built;
+  /// anot-sync: serving thread -> worker abort request. Relaxed is
+  /// enough: it carries no payload — the worker polls it between build
+  /// stages and simply stops; the join below is the real synchronization
+  /// point for everything the cancelled worker wrote.
   std::atomic<bool> cancel{false};
+  /// anot-sync: publication flag for `built` (and `snapshot` reuse).
+  /// Worker stores true with memory_order_release after its last write;
+  /// the serving thread reads with memory_order_acquire (RefreshReady /
+  /// MaybeCompleteRefresh), so observing true makes every build-side
+  /// write visible. The release/acquire pair IS the handoff; downgrade
+  /// either side and the struct races.
   std::atomic<bool> ready{false};
   std::thread worker;
 

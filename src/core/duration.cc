@@ -103,6 +103,9 @@ DurationAnoT DurationAnoT::Build(const TemporalKnowledgeGraph& offline,
     const size_t inner = std::max<size_t>(1, threads / specs.size());
     ThreadPool pool(std::min(threads, specs.size()));
     for (size_t i = 0; i < specs.size(); ++i) {
+      // anot-lint: shared-ok build_view (and the offline graph/options it
+      // closes over, all const) outlives the tasks — Wait() below joins
+      // every view before return, and view i writes only out.views_[i]
       pool.Submit([&build_view, i, inner] { build_view(i, inner); });
     }
     pool.Wait();

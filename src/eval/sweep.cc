@@ -79,6 +79,9 @@ SweepResult RunSweep(const SweepSpec& spec) {
   } else {
     ThreadPool pool(std::min(out.num_threads, spec.cells.size()));
     for (size_t i = 0; i < spec.cells.size(); ++i) {
+      // anot-lint: shared-ok run_cell (and the spec/out it closes over)
+      // outlive the tasks — Wait() below joins every cell before this
+      // frame returns, and cell i writes only its own out.cells[i] slot
       pool.Submit([&run_cell, i] { run_cell(i); });
     }
     pool.Wait();

@@ -1,17 +1,15 @@
 #include "util/logging.h"
 
-#include <atomic>
-#include <chrono>
-#include <cstdio>
-#include <mutex>
-
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace anot {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+/// Serializes whole messages onto std::cerr so concurrent threads never
+/// interleave mid-line. The stream itself is the guarded resource; every
+/// emit path below takes the lock for exactly one rendered message.
+Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,11 +23,14 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  // relaxed: see internal::ShouldLog — standalone knob, publishes nothing.
+  internal::g_min_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      internal::g_min_level.load(std::memory_order_relaxed));
 }
 
 namespace internal {
@@ -40,11 +41,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  // ANOT_LOG already filtered, but LogMessage is constructible directly;
+  // re-check so a level raised mid-message is still honored.
+  if (!ShouldLog(level_)) return;
+  MutexLock lock(g_log_mutex);
   std::cerr << stream_.str() << std::endl;
 }
 
@@ -55,7 +55,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 
 FatalMessage::~FatalMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::cerr << stream_.str() << std::endl;
   }
   std::abort();

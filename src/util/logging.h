@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -15,6 +16,27 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal {
+
+/// Minimum emitted level, read on every ANOT_LOG call site.
+/// anot-sync: standalone level knob — loaded/stored memory_order_relaxed
+/// (see ShouldLog for why relaxed is sufficient); no data is published
+/// through it.
+inline std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// ANOT_LOG's fast path: decides whether a call site builds a LogMessage
+/// at all. memory_order_relaxed is sufficient because the level is a
+/// standalone configuration value: no other memory is published via this
+/// atomic (nothing is ordered "before the level changed"), every load
+/// still sees a coherent value from the variable's own modification
+/// order, and the only effect of a momentarily stale read is emitting or
+/// dropping a borderline message around a SetLogLevel() race — which is
+/// inherently racy at the call-site level anyway. Using seq_cst here
+/// would buy no additional guarantee and put a fence on every log-macro
+/// hit in the serving path.
+inline bool ShouldLog(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_min_level.load(std::memory_order_relaxed);
+}
 
 /// Stream-style log sink that emits on destruction.
 class LogMessage {
@@ -39,12 +61,23 @@ class FatalMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows the stream expression in ANOT_LOG's disabled branch so both
+/// arms of the conditional have type void ('&' binds looser than '<<').
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 
+/// Filtered-out messages cost one relaxed atomic load — the LogMessage
+/// (and its ostringstream) is only constructed when the level passes.
 #define ANOT_LOG(level)                                                   \
-  ::anot::internal::LogMessage(::anot::LogLevel::k##level, __FILE__,      \
-                               __LINE__)                                  \
-      .stream()
+  !::anot::internal::ShouldLog(::anot::LogLevel::k##level)                \
+      ? (void)0                                                           \
+      : ::anot::internal::LogVoidify() &                                  \
+        ::anot::internal::LogMessage(::anot::LogLevel::k##level,          \
+                                     __FILE__, __LINE__)                  \
+            .stream()
 
 /// Invariant check active in all build types. Use for programmer errors
 /// that must never ship silently (Google style: fail fast and loudly).

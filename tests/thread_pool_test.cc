@@ -90,6 +90,89 @@ TEST(ThreadPoolTest, WaitWithNothingPendingReturnsImmediately) {
   EXPECT_NO_THROW(pool.Wait());
 }
 
+// Stress case for the annotated Mutex/CondVar wrappers: many submitter
+// threads race Wait() on the main thread while some tasks throw. Pins the
+// contract that (a) Submit is safe concurrently with Wait, (b) every
+// non-throwing task runs exactly once even when Wait drains mid-stream,
+// (c) task exceptions surface on the waiting thread instead of killing a
+// worker, and (d) the pool stays usable afterwards. Runs under the TSan
+// CI job, which checks the same interleavings dynamically.
+TEST(ThreadPoolTest, ConcurrentSubmitRacingWaitStress) {
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksEach = 500;
+  constexpr int kThrowEvery = 100;  // kSubmitters * 5 throwing tasks total
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::atomic<int> live_submitters{kSubmitters};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool, &ran, &live_submitters] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        if (i % kThrowEvery == 0) {
+          pool.Submit([] { throw std::runtime_error("stress"); });
+        } else {
+          pool.Submit([&ran] { ++ran; });
+        }
+      }
+      --live_submitters;
+    });
+  }
+  // Race Wait() against the submitters: each call drains whatever was
+  // pending at that moment and rethrows the first task exception captured
+  // since the previous Wait. Exceptions between two Waits coalesce to
+  // one, so the caught count is only bounded, not exact.
+  int caught = 0;
+  while (live_submitters.load() > 0) {
+    try {
+      pool.Wait();
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  for (auto& t : submitters) t.join();
+  // Final drain: everything submitted is now visible; loop until a Wait
+  // completes without rethrowing, which by contract means the queue is
+  // empty and no exception is pending.
+  for (;;) {
+    try {
+      pool.Wait();
+      break;
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  }
+  const int throwing = kSubmitters * (kTasksEach / kThrowEvery);
+  EXPECT_EQ(ran.load(), kSubmitters * kTasksEach - throwing);
+  EXPECT_GE(caught, 1);
+  EXPECT_LE(caught, throwing);
+
+  // Drain ordering: the pool is fully usable after the storm, and a clean
+  // Wait() no longer throws.
+  std::atomic<int> after{0};
+  pool.Submit([&after] { ++after; });
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(after.load(), 1);
+}
+
+// A pool destroyed with a captured-but-unobserved task exception (no
+// final Wait) must not rethrow from the destructor: the exception is
+// logged and dropped, and the queued work still drains. Surfaced while
+// annotating the destructor's error_ read (it is guarded data even after
+// the joins).
+TEST(ThreadPoolTest, DestructorWithUnobservedExceptionLogsAndDrains) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("unobserved"); });
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    // No Wait(): destruction must drain the queue and swallow the error.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
 TEST(ResolveNumThreadsTest, ZeroMeansHardwareConcurrency) {
   EXPECT_GE(ResolveNumThreads(0), 1u);
   EXPECT_EQ(ResolveNumThreads(3), 3u);

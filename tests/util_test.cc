@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 #include <numeric>
+#include <sstream>
 
+#include "util/logging.h"
 #include "util/math_util.h"
 #include "util/random.h"
 #include "util/result.h"
@@ -17,6 +19,46 @@
 
 namespace anot {
 namespace {
+
+// --------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelFilterSuppressesBelowMinLevel) {
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  ANOT_LOG(Info) << "dropped-line";
+  ANOT_LOG(Warn) << "kept-line";
+  SetLogLevel(prev);
+  std::cerr.rdbuf(old);
+  EXPECT_EQ(captured.str().find("dropped-line"), std::string::npos);
+  EXPECT_NE(captured.str().find("kept-line"), std::string::npos);
+}
+
+TEST(LoggingTest, FilteredMacroDoesNotEvaluateStreamExpression) {
+  // The ANOT_LOG fast path short-circuits on one relaxed atomic load
+  // before the LogMessage (and its ostringstream) exists, so a filtered
+  // call site must not evaluate its stream operands at all.
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "side-effect";
+  };
+  ANOT_LOG(Debug) << touch();
+  ANOT_LOG(Info) << touch();
+  SetLogLevel(prev);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrips) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(prev);
+  EXPECT_EQ(GetLogLevel(), prev);
+}
 
 // ---------------------------------------------------------------- Status
 

@@ -231,21 +231,29 @@ def collect_float_vars(code: str) -> Set[str]:
     return out
 
 
-def annotated(lines: List[str], lineno: int) -> Tuple[bool, Optional[str]]:
+def annotation_near(
+    lines: List[str], lineno: int, annotation_re: "re.Pattern[str]"
+) -> Tuple[bool, Optional[str]]:
     """Whether the 1-based flagged line, or the contiguous `//` comment
-    block directly above it, carries an ordered-ok annotation; returns
-    (found, reason)."""
+    block directly above it, matches `annotation_re` (group 1 = reason);
+    returns (found, reason). Shared with tools/concurrency_lint.py, which
+    reuses this lexical engine with its own annotation tags."""
     if 1 <= lineno <= len(lines):
-        m = ANNOTATION_RE.search(lines[lineno - 1])
+        m = annotation_re.search(lines[lineno - 1])
         if m:
             return True, m.group(1)
     idx = lineno - 2
     while 0 <= idx < len(lines) and lines[idx].strip().startswith("//"):
-        m = ANNOTATION_RE.search(lines[idx])
+        m = annotation_re.search(lines[idx])
         if m:
             return True, m.group(1)
         idx -= 1
     return False, None
+
+
+def annotated(lines: List[str], lineno: int) -> Tuple[bool, Optional[str]]:
+    """ordered-ok lookup for the determinism rules."""
+    return annotation_near(lines, lineno, ANNOTATION_RE)
 
 
 def lint_file(path: str, text: str, symbols: SymbolTable) -> List[Finding]:

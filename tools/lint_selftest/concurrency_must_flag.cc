@@ -1,0 +1,76 @@
+// Self-test fixtures for tools/concurrency_lint.py — the MUST-FLAG half.
+// Every line marked `// expect-flag: <rule>` must fire exactly that rule;
+// any other finding in this file fails the self-test. The snippets are
+// the concurrency hazards the lint exists to catch: raw std primitives
+// the capability analysis cannot see, thread ownership without a join
+// path, by-reference captures shipped to the pool, and atomics without a
+// publication contract. This file is a lint fixture, not part of the
+// build. NOTE: no line in this file may call .join() — the
+// unjoined-thread rule is per-file.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace lint_fixture {
+
+// Raw primitives outside thread_annotations.h: invisible to
+// -Wthread-safety, so GUARDED_BY contracts cannot attach to them.
+std::mutex raw_mu;  // expect-flag: raw-sync
+
+struct RawCondition {
+  std::condition_variable cv;  // expect-flag: raw-sync
+};
+
+void LockRaw() {
+  std::lock_guard<std::mutex> lock(raw_mu);  // expect-flag: raw-sync
+}
+
+void WaitRaw() {
+  std::unique_lock<std::mutex> lock(raw_mu);  // expect-flag: raw-sync
+}
+
+// An annotation WITHOUT the mandatory reason does not suppress.
+// anot-lint: raw-sync-ok
+std::shared_mutex unreasoned_mu;  // expect-flag: raw-sync
+
+// Thread ownership without a join path: nothing in this file ever calls
+// .join(), so both the member and the detach are findings.
+class FireAndForget {
+ public:
+  void Start() {
+    runner_ = std::thread([] {});
+    runner_.detach();  // expect-flag: detached-thread
+  }
+
+ private:
+  std::thread runner_;  // expect-flag: unjoined-thread
+};
+
+std::vector<std::thread> orphan_workers;  // expect-flag: unjoined-thread
+
+// A by-reference capture handed to the pool without a lifetime argument:
+// the task shares `total` with every worker and with this frame.
+void SharedByReference(anot::ThreadPool* pool) {
+  int total = 0;
+  pool->Submit([&total] { ++total; });  // expect-flag: shared-capture
+}
+
+void SharedByDefaultCapture(anot::ThreadPool* pool) {
+  int total = 0;
+  pool->Submit([&] { ++total; });  // expect-flag: shared-capture
+}
+
+// Atomics bypass the capability analysis entirely, so a declaration
+// without its anot-sync publication contract is a finding.
+std::atomic<bool> naked_flag{false};  // expect-flag: atomic-contract
+
+class Handoff {
+  std::atomic<int> epoch_ = 0;  // expect-flag: atomic-contract
+};
+
+}  // namespace lint_fixture

@@ -1,0 +1,80 @@
+// Self-test fixtures for tools/concurrency_lint.py — the MUST-PASS half.
+// None of these may produce a finding: the annotated wrappers, joined
+// thread ownership, by-value or audited captures, contract-carrying
+// atomics, and audited raw-primitive sites. This file is a lint fixture,
+// not part of the build.
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace lint_fixture {
+
+// The annotated wrappers are the sanctioned spelling — never flagged.
+class Counter {
+ public:
+  void Add(int delta) {
+    anot::MutexLock lock(mu_);
+    value_ += delta;
+  }
+
+ private:
+  anot::Mutex mu_;
+  anot::CondVar cv_;
+  int value_ ANOT_GUARDED_BY(mu_) = 0;
+};
+
+// Thread ownership with a join path in the same file.
+class Joined {
+ public:
+  ~Joined() {
+    if (worker_.joinable()) worker_.join();
+    for (auto& t : helpers_) t.join();
+  }
+
+ private:
+  std::thread worker_;
+  std::vector<std::thread> helpers_;
+};
+
+// By-value captures: the task owns its state, nothing is shared.
+void OwnedCapture(anot::ThreadPool* pool, int seed) {
+  pool->Submit([seed] { (void)(seed + 1); });
+}
+
+// An audited by-reference capture: reason on the comment block above.
+void AuditedCapture(anot::ThreadPool* pool, std::vector<int>* out) {
+  // anot-lint: shared-ok out outlives the task — Wait() below joins it
+  // before this frame returns, and only this task writes slot 0
+  pool->Submit([&out] { (*out)[0] = 1; });
+  pool->Wait();
+}
+
+// An atomic with its publication contract documented at the declaration.
+// anot-sync: monotonically set true by the producer with release after
+// its last write; consumer acquires before reading the payload.
+std::atomic<bool> published{false};
+
+class Stage {
+  /// anot-sync: cancellation knob, relaxed both sides — carries no
+  /// payload, the join is the synchronization point.
+  std::atomic<bool> cancel_{false};
+};
+
+// Pointers/references to atomics are parameters, not owned state — the
+// contract lives at the owning declaration.
+bool Poll(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
+// An audited raw-primitive site (e.g. interop with an external API that
+// demands a std::mutex) keeps its reason.
+// anot-lint: raw-sync-ok fixture stand-in for third-party interop that
+// takes a std::mutex by contract
+std::mutex third_party_mu;
+
+}  // namespace lint_fixture
