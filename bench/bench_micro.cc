@@ -27,6 +27,8 @@ GeneratorConfig BenchWorld(size_t facts) {
   return cfg;
 }
 
+// anot-lint: lifetime-ok returns a function-local static leaked for the
+// whole benchmark process (immortal storage)
 const TemporalKnowledgeGraph& SharedGraph() {
   static auto* graph = [] {
     SyntheticGenerator gen(BenchWorld(12000));
@@ -35,6 +37,8 @@ const TemporalKnowledgeGraph& SharedGraph() {
   return *graph;
 }
 
+// anot-lint: lifetime-ok returns a function-local static leaked for the
+// whole benchmark process (immortal storage)
 const AnoT& SharedSystem() {
   static auto* system = [] {
     TimeSplit split = SplitByTimestamps(SharedGraph(), 0.6, 0.1);

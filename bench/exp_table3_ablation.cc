@@ -15,6 +15,8 @@ int main() {
   ProtocolOptions popts;
 
   struct Variant {
+    // anot-own: points at a string literal in the initializer list below
+    // (static storage, outlives everything)
     const char* name;
     void (*apply)(AnoTOptions*);
   };

@@ -1,0 +1,18 @@
+// Negative fixture for the ANOT_LIFETIME compile-fail harness: binds a
+// reference through an ANOT_LIFETIME_BOUND accessor of a temporary, so the
+// referent dies at the end of the full-expression. Configure fails if the
+// toolchain ACCEPTS this file — the [[clang::lifetimebound]] plumbing (or
+// -Werror=dangling) would then be silently off.
+
+#include "util/containers.h"
+
+namespace {
+
+anot::small_vec<int, 4> MakeVec() { return {1, 2, 3}; }
+
+}  // namespace
+
+int ReadDangling() {
+  const int& first = MakeVec()[0];  // temporary destroyed here
+  return first;                     // read through a dangling reference
+}

@@ -1,0 +1,18 @@
+// Negative fixture for the ANOT_LIFETIME compile-fail harness: discards a
+// Status returned by a fallible call. Configure fails if the toolchain
+// ACCEPTS this file — the class-level ANOT_NODISCARD on Status (or
+// -Werror=unused-result) would then be silently off.
+
+#include "util/status.h"
+
+namespace {
+
+anot::Status Fallible() {
+  return anot::Status::InvalidArgument("always fails");
+}
+
+}  // namespace
+
+void IgnoreFailure() {
+  Fallible();  // fallible result dropped on the floor
+}

@@ -1,0 +1,29 @@
+// Positive control for the ANOT_LIFETIME compile-fail harness: correct
+// lifetime and error handling must build cleanly under the promoted
+// warning set (-Werror=dangling -Werror=return-stack-address
+// -Werror=unused-result). If this file fails, the harness flags are
+// broken, not the code under test.
+
+#include "util/containers.h"
+#include "util/status.h"
+
+namespace {
+
+anot::small_vec<int, 4> MakeVec() { return {1, 2, 3}; }
+
+anot::Status Fallible(bool fail) {
+  if (fail) return anot::Status::InvalidArgument("requested failure");
+  return anot::Status::OK();
+}
+
+}  // namespace
+
+int UseAll(bool fail) {
+  // The owner outlives the borrow: no dangling diagnostic.
+  anot::small_vec<int, 4> v = MakeVec();
+  const int& first = v[0];
+  // The fallible result is consumed: no unused-result diagnostic.
+  anot::Status st = Fallible(fail);
+  if (!st.ok()) return -1;
+  return first;
+}

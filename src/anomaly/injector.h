@@ -11,6 +11,7 @@ namespace anot {
 /// \brief The three anomaly classes of §3.2 plus the valid label.
 enum class AnomalyType { kValid = 0, kConceptual, kTime, kMissing };
 
+// anot-lint: lifetime-ok returns a string literal (immortal storage)
 const char* AnomalyTypeName(AnomalyType type);
 
 /// \brief A fact in an evaluation stream with its ground-truth label.

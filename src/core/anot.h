@@ -13,6 +13,7 @@
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/lifetime.h"
 #include "util/thread_pool.h"
 
 namespace anot {
@@ -161,14 +162,20 @@ class AnoT {
   /// a swap happened, false when nothing was in flight.
   bool FinishRefresh();
 
-  const TemporalKnowledgeGraph& graph() const { return *graph_; }
-  const CategoryFunction& categories() const { return *categories_; }
-  const RuleGraph& rules() const { return *rules_; }
-  const BuildReport& report() const { return report_; }
-  const Monitor& monitor() const { return *monitor_; }
-  const Updater& updater() const { return *updater_; }
+  const TemporalKnowledgeGraph& graph() const ANOT_LIFETIME_BOUND {
+    return *graph_;
+  }
+  const CategoryFunction& categories() const ANOT_LIFETIME_BOUND {
+    return *categories_;
+  }
+  const RuleGraph& rules() const ANOT_LIFETIME_BOUND { return *rules_; }
+  const BuildReport& report() const ANOT_LIFETIME_BOUND { return report_; }
+  const Monitor& monitor() const ANOT_LIFETIME_BOUND { return *monitor_; }
+  const Updater& updater() const ANOT_LIFETIME_BOUND { return *updater_; }
   Explainer MakeExplainer() const;
-  const AnoTOptions& options() const { return *options_; }
+  const AnoTOptions& options() const ANOT_LIFETIME_BOUND {
+    return *options_;
+  }
   size_t refresh_count() const { return refresh_count_; }
 
   /// Debug validator (compiled behind ANOT_VALIDATE, no-op otherwise):
@@ -228,7 +235,7 @@ class AnoT {
   /// Lazily created worker pool for batched serving; nullptr while the
   /// configured thread count resolves to 1. Mutable because scoring is
   /// logically const — the pool is an execution resource, not state.
-  ThreadPool* ServingPool() const;
+  ThreadPool* ServingPool() const ANOT_LIFETIME_BOUND;
 
   /// Heap-allocated so its address survives moves of the AnoT object:
   /// Scorer and Updater capture a pointer to options_->detector, and

@@ -68,8 +68,14 @@ class RuleGraphBuilder {
   Output Build(const std::atomic<bool>* cancel = nullptr) const;
 
  private:
+  // anot-own: the builder is a stack-scoped pipeline object — the caller
+  // (AnoT::BuildStructures / tests) constructs it after these owners and
+  // consumes Build() before any of them can die; builders are never
+  // stored or moved.
   const TemporalKnowledgeGraph& graph_;
+  // anot-own: same stack-scoped contract as graph_.
   const CategoryFunction& categories_;
+  // anot-own: same stack-scoped contract as graph_.
   const DetectorOptions& options_;
   size_t num_threads_ = 1;
 };

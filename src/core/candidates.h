@@ -124,8 +124,13 @@ class CandidateGenerator {
   void GenerateChainEdges(CandidatePool* pool, ThreadPool* workers) const;
   void GenerateTriadicEdges(CandidatePool* pool, ThreadPool* workers) const;
 
+  // anot-own: stack-scoped generation pass owned by RuleGraphBuilder's
+  // Build() frame — the referenced graph/categories/options outlive that
+  // whole pipeline call; generators are never stored or moved.
   const TemporalKnowledgeGraph& graph_;
+  // anot-own: same Build()-frame contract as graph_.
   const CategoryFunction& categories_;
+  // anot-own: same Build()-frame contract as graph_.
   const DetectorOptions& options_;
   size_t num_threads_ = 1;
 };

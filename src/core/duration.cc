@@ -14,7 +14,7 @@ const char* DurationStrategyName(DurationStrategy strategy) {
     case DurationStrategy::kEndOnly: return "end-only";
     case DurationStrategy::kAverage: return "midpoint-average";
   }
-  return "?";
+  __builtin_unreachable();  // -Wswitch-enum keeps the switch total
 }
 
 namespace {
@@ -50,6 +50,7 @@ DurationAnoT DurationAnoT::Build(const TemporalKnowledgeGraph& offline,
   out.strategy_ = strategy;
 
   struct ViewSpec {
+    // anot-own: points at a string-literal view name (static storage)
     const char* name;
     TimeAnchor head;
     TimeAnchor tail;

@@ -17,6 +17,7 @@ enum class DurationStrategy {
   kAverage,     // collapse each fact to its midpoint timestamp
 };
 
+// anot-lint: lifetime-ok returns a string literal (immortal storage)
 const char* DurationStrategyName(DurationStrategy strategy);
 
 /// \brief AnoT generalized to facts with validity durations
@@ -41,9 +42,13 @@ class DurationAnoT {
   void IngestValid(const Fact& fact);
 
   size_t num_views() const { return views_.size(); }
-  const AnoT& view(size_t i) const { return *views_[i]; }
+  const AnoT& view(size_t i) const ANOT_LIFETIME_BOUND {
+    return *views_[i];
+  }
   /// "ST-ST", "ED-ED", "ST-ED", "ED-ST" (or the single view's name).
-  const std::string& view_name(size_t i) const { return view_names_[i]; }
+  const std::string& view_name(size_t i) const ANOT_LIFETIME_BOUND {
+    return view_names_[i];
+  }
 
   DurationStrategy strategy() const { return strategy_; }
 

@@ -7,6 +7,7 @@
 #include "mining/category_function.h"
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
+#include "util/lifetime.h"
 
 namespace anot {
 
@@ -50,9 +51,12 @@ class Explainer {
  private:
   std::string DescribeCategory(CategoryId c) const;
 
-  const TemporalKnowledgeGraph* graph_;
-  const CategoryFunction* categories_;
-  const RuleGraph* rules_;
+  // anot-own: borrowed from the AnoT that built this explainer
+  // (MakeExplainer); explainers are presentation-layer temporaries the
+  // caller drops before mutating or destroying the detector.
+  not_null<const TemporalKnowledgeGraph*> graph_;
+  not_null<const CategoryFunction*> categories_;
+  not_null<const RuleGraph*> rules_;
 };
 
 }  // namespace anot

@@ -8,6 +8,7 @@
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
 #include "util/containers.h"
+#include "util/lifetime.h"
 
 namespace anot {
 
@@ -142,10 +143,14 @@ class Scorer {
                         const Instantiation& inst) const;
   double RuleWeight(RuleId rule) const;
 
-  const TemporalKnowledgeGraph* graph_;
-  const CategoryFunction* categories_;
-  const RuleGraph* rules_;
-  const DetectorOptions* options_;
+  // anot-own: all four are borrowed from the owning AnoT (or a test/bench
+  // caller), which heap-holds them precisely so these borrows survive
+  // moves of the owner; AnoT recreates its Scorer whenever the structures
+  // are swapped (RecreateServingObjects).
+  not_null<const TemporalKnowledgeGraph*> graph_;
+  not_null<const CategoryFunction*> categories_;
+  not_null<const RuleGraph*> rules_;
+  not_null<const DetectorOptions*> options_;
 };
 
 }  // namespace anot

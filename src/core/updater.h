@@ -8,6 +8,7 @@
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
 #include "util/containers.h"
+#include "util/lifetime.h"
 
 namespace anot {
 
@@ -73,10 +74,14 @@ class Updater {
   uint32_t TouchPendingRule(const AtomicRule& rule);
   void ErasePendingRule(const AtomicRule& rule);
 
-  TemporalKnowledgeGraph* graph_;
-  CategoryFunction* categories_;
-  RuleGraph* rules_;
-  const DetectorOptions* detector_options_;
+  // anot-own: borrowed from the owning AnoT (or a test caller), which
+  // heap-holds graph/categories/rules/options so these borrows survive
+  // moves of the owner; AnoT recreates its Updater at every structure
+  // swap (RecreateServingObjects).
+  not_null<TemporalKnowledgeGraph*> graph_;
+  not_null<CategoryFunction*> categories_;
+  not_null<RuleGraph*> rules_;
+  not_null<const DetectorOptions*> detector_options_;
   UpdaterOptions options_;
   Scorer scorer_;
   /// Online support counts of patterns not (yet) in the rule graph, with

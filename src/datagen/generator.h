@@ -106,8 +106,10 @@ class SyntheticGenerator {
   /// names ("PERSON_12", "host_visit") for the interpretability tables.
   std::unique_ptr<TemporalKnowledgeGraph> Generate();
 
-  const WorldModel& world() const { return world_; }
-  const GeneratorConfig& config() const { return config_; }
+  const WorldModel& world() const ANOT_LIFETIME_BOUND { return world_; }
+  const GeneratorConfig& config() const ANOT_LIFETIME_BOUND {
+    return config_;
+  }
 
  private:
   void BuildWorld();

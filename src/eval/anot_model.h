@@ -49,7 +49,7 @@ class AnoTModel : public AnomalyModel {
     if (options_.enable_updater) system_->IngestValid(fact);
   }
 
-  const AnoT& system() const { return *system_; }
+  const AnoT& system() const ANOT_LIFETIME_BOUND { return *system_; }
 
  private:
   AnoTOptions options_;
@@ -80,7 +80,9 @@ class DurationAnoTModel : public AnomalyModel {
     if (options_.enable_updater) system_->IngestValid(fact);
   }
 
-  const DurationAnoT& system() const { return *system_; }
+  const DurationAnoT& system() const ANOT_LIFETIME_BOUND {
+    return *system_;
+  }
 
  private:
   AnoTOptions options_;

@@ -26,7 +26,11 @@ struct SweepCell {
   /// Builds the cell's model. May fail (e.g. an unknown registry name);
   /// the failure is recorded on the cell without affecting any other.
   std::function<Result<std::unique_ptr<AnomalyModel>>()> factory;
+  // anot-own: the workload (graph + split) belongs to the RunSweep caller
+  // and must stay valid for the whole sweep — cells only read it through
+  // const methods (see the class comment).
   const TemporalKnowledgeGraph* graph = nullptr;
+  // anot-own: same RunSweep-caller contract as graph.
   const TimeSplit* split = nullptr;
   ProtocolOptions protocol;
   /// Stamped onto EvalResult::dataset (RunProtocol only knows the model).

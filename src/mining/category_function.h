@@ -61,16 +61,19 @@ class CategoryFunction {
                                 const std::atomic<bool>* cancel = nullptr);
 
   /// Categories of entity e (ascending ids; empty for unseen entities).
-  const std::vector<CategoryId>& Categories(EntityId e) const;
+  const std::vector<CategoryId>& Categories(EntityId e) const
+      ANOT_LIFETIME_BOUND;
 
   /// Total number of categories, |C_E|.
   size_t num_categories() const { return categories_.size(); }
 
   /// The relation-token combination defining category c.
-  const std::vector<uint32_t>& Combination(CategoryId c) const;
+  const std::vector<uint32_t>& Combination(CategoryId c) const
+      ANOT_LIFETIME_BOUND;
 
   /// Entities currently assigned category c.
-  const std::vector<EntityId>& Members(CategoryId c) const;
+  const std::vector<EntityId>& Members(CategoryId c) const
+      ANOT_LIFETIME_BOUND;
 
   /// Human-readable rendering, e.g. "host_visit | ~born_in" where "~"
   /// marks the object side of a relation.
@@ -85,7 +88,9 @@ class CategoryFunction {
   CategoryId UpdateEntity(EntityId e, uint32_t new_token,
                           const TemporalKnowledgeGraph& graph);
 
-  const CategoryFunctionOptions& options() const { return options_; }
+  const CategoryFunctionOptions& options() const ANOT_LIFETIME_BOUND {
+    return options_;
+  }
 
  private:
   struct CategoryInfo {

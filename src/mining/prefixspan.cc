@@ -16,8 +16,12 @@ struct Projection {
 };
 
 struct MineContext {
+  // anot-own: all three point into PrefixSpan::Mine's frame, which owns
+  // the context and every recursive Grow call reading it.
   const std::vector<std::vector<uint32_t>>* transactions;
+  // anot-own: same Mine()-frame contract as transactions.
   const PrefixSpan::Options* options;
+  // anot-own: same Mine()-frame contract as transactions.
   std::vector<FrequentItemset>* out;
   std::vector<uint32_t> prefix;
 };

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/lifetime.h"
 #include "util/random.h"
 
 namespace anot {
@@ -21,8 +22,8 @@ class EmbeddingTable {
   size_t rows() const { return rows_; }
 
   /// Pointer to the row (grows the table when id >= rows()).
-  float* Row(size_t id);
-  const float* Row(size_t id) const;
+  float* Row(size_t id) ANOT_LIFETIME_BOUND;
+  const float* Row(size_t id) const ANOT_LIFETIME_BOUND;
 
   /// AdaGrad: w -= lr * g / sqrt(acc + eps), acc += g^2.
   void Update(size_t id, const std::vector<float>& grad, float lr);
@@ -33,6 +34,8 @@ class EmbeddingTable {
   size_t rows_;
   size_t dim_;
   double init_scale_;
+  // anot-own: the baseline model that constructs this table owns the Rng
+  // and destroys the table first (member order in the owner).
   Rng* rng_;
   std::vector<float> data_;
   std::vector<float> accum_;

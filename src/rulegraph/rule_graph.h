@@ -78,7 +78,9 @@ class RuleGraph {
   /// Number of rules usable for static (conceptual) scoring.
   size_t num_static_rules() const { return num_static_; }
 
-  const AtomicRule& rule(RuleId id) const { return rules_[id]; }
+  const AtomicRule& rule(RuleId id) const ANOT_LIFETIME_BOUND {
+    return rules_[id];
+  }
   bool static_selected(RuleId id) const { return static_selected_[id]; }
   uint32_t support(RuleId id) const { return support_[id]; }
   void SetSupport(RuleId id, uint32_t support) { support_[id] = support; }
@@ -91,17 +93,21 @@ class RuleGraph {
   bool recurrent(RuleId id) const { return recurrent_[id]; }
   void SetRecurrent(RuleId id, bool recurrent) { recurrent_[id] = recurrent; }
 
-  const RuleEdge& edge(RuleEdgeId id) const { return edges_[id]; }
-  RuleEdge& mutable_edge(RuleEdgeId id) { return edges_[id]; }
+  const RuleEdge& edge(RuleEdgeId id) const ANOT_LIFETIME_BOUND {
+    return edges_[id];
+  }
+  RuleEdge& mutable_edge(RuleEdgeId id) ANOT_LIFETIME_BOUND {
+    return edges_[id];
+  }
 
   /// Per-rule adjacency lists: small_vec keeps the common few-edge case
   /// inline, so the scorer's evidence walk chases no per-rule heap nodes.
   using EdgeList = small_vec<RuleEdgeId, 4>;
 
   /// Edges whose tail is `rule` (precursor side of temporal scoring).
-  const EdgeList& InEdges(RuleId rule) const;
+  const EdgeList& InEdges(RuleId rule) const ANOT_LIFETIME_BOUND;
   /// Edges whose head or mid is `rule` (successor side; violation checks).
-  const EdgeList& OutEdges(RuleId rule) const;
+  const EdgeList& OutEdges(RuleId rule) const ANOT_LIFETIME_BOUND;
 
   /// Appends an observed timespan to edge `id`, keeping T(e) sorted
   /// (updater: timespan distribution changes).

@@ -26,7 +26,7 @@ class Dictionary {
   std::optional<uint32_t> TryGet(std::string_view name) const;
 
   /// Returns the interned name for `id`. `id` must be < size().
-  const std::string& Name(uint32_t id) const;
+  const std::string& Name(uint32_t id) const ANOT_LIFETIME_BOUND;
 
   /// Pre-sizes the index and name table for `n` symbols (bulk loads).
   void Reserve(size_t n);

@@ -52,32 +52,41 @@ class TemporalKnowledgeGraph {
 
   // -- Fact access ----------------------------------------------------------
 
-  const std::vector<Fact>& facts() const { return facts_; }
-  const Fact& fact(FactId id) const { return facts_[id]; }
+  const std::vector<Fact>& facts() const ANOT_LIFETIME_BOUND {
+    return facts_;
+  }
+  const Fact& fact(FactId id) const ANOT_LIFETIME_BOUND {
+    return facts_[id];
+  }
 
   /// Facts observed at exactly timestamp t (empty if none).
-  const std::vector<FactId>& FactsAt(Timestamp t) const;
+  const std::vector<FactId>& FactsAt(Timestamp t) const ANOT_LIFETIME_BOUND;
 
   /// All observed timestamps in ascending order with their facts.
-  const std::map<Timestamp, std::vector<FactId>>& by_time() const {
+  const std::map<Timestamp, std::vector<FactId>>& by_time() const
+      ANOT_LIFETIME_BOUND {
     return by_time_;
   }
 
   /// Interaction sequence of the ordered pair (s, o): fact ids sorted by
   /// (time, id). Returns nullptr when the pair never interacted.
-  const std::vector<FactId>* FactsForPair(EntityId s, EntityId o) const;
+  const std::vector<FactId>* FactsForPair(EntityId s, EntityId o) const
+      ANOT_LIFETIME_BOUND;
 
   /// All pair interaction sequences, keyed by PairKey(s, o). Iteration
   /// order is the pairs' first-interaction order (a container-history
   /// artifact, deterministic but not meaningful); callers needing a
   /// canonical order must still sort.
-  const dense_map<uint64_t, std::vector<FactId>>& pair_sequences() const {
+  const dense_map<uint64_t, std::vector<FactId>>& pair_sequences() const
+      ANOT_LIFETIME_BOUND {
     return pair_index_;
   }
 
   /// Facts with `e` as subject / object, sorted by (time, id).
-  const std::vector<FactId>* FactsBySubject(EntityId e) const;
-  const std::vector<FactId>* FactsByObject(EntityId e) const;
+  const std::vector<FactId>* FactsBySubject(EntityId e) const
+      ANOT_LIFETIME_BOUND;
+  const std::vector<FactId>* FactsByObject(EntityId e) const
+      ANOT_LIFETIME_BOUND;
 
   /// Directed relation tokens R(e) the entity has interacted with
   /// (OutRelationToken for subject roles, InRelationToken for object roles).
@@ -85,7 +94,7 @@ class TemporalKnowledgeGraph {
   /// flat sets: ascending iteration, binary-search membership, inline
   /// storage for the common small case.
   using TokenSet = sorted_small_set<uint32_t, 8>;
-  const TokenSet& RelationTokens(EntityId e) const;
+  const TokenSet& RelationTokens(EntityId e) const ANOT_LIFETIME_BOUND;
 
   /// Exact membership of a (s, r, o, t[, end]) fact.
   bool Contains(const Fact& fact) const;
@@ -108,10 +117,14 @@ class TemporalKnowledgeGraph {
 
   // -- Symbol names ---------------------------------------------------------
 
-  Dictionary& entity_dict() { return entity_dict_; }
-  Dictionary& relation_dict() { return relation_dict_; }
-  const Dictionary& entity_dict() const { return entity_dict_; }
-  const Dictionary& relation_dict() const { return relation_dict_; }
+  Dictionary& entity_dict() ANOT_LIFETIME_BOUND { return entity_dict_; }
+  Dictionary& relation_dict() ANOT_LIFETIME_BOUND { return relation_dict_; }
+  const Dictionary& entity_dict() const ANOT_LIFETIME_BOUND {
+    return entity_dict_;
+  }
+  const Dictionary& relation_dict() const ANOT_LIFETIME_BOUND {
+    return relation_dict_;
+  }
 
   /// Human-readable names with an "E<id>" / "R<id>" fallback for graphs
   /// built from raw ids.

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/lifetime.h"
+
 /// \file Hot-path container library (vendored, single header).
 ///
 /// The scorer/updater hot paths probe hash tables millions of times per
@@ -64,12 +66,14 @@ inline uint64_t MixHash(uint64_t z) {
 
 template <class Slot>
 struct KeyOfPair {
-  const auto& operator()(const Slot& s) const { return s.first; }
+  const auto& operator()(const Slot& s ANOT_LIFETIME_BOUND) const {
+    return s.first;
+  }
 };
 
 template <class Key>
 struct KeyIdentity {
-  const Key& operator()(const Key& k) const { return k; }
+  const Key& operator()(const Key& k ANOT_LIFETIME_BOUND) const { return k; }
 };
 
 /// \brief Core open-addressing table: dense slot storage + a flat bucket
@@ -365,18 +369,18 @@ class dense_map {
   }
 
   template <class K>
-  T& operator[](K&& key) {
+  T& operator[](K&& key) ANOT_LIFETIME_BOUND {
     return try_emplace(std::forward<K>(key)).first->second;
   }
 
   template <class K>
-  const T& at(const K& key) const {
+  const T& at(const K& key) const ANOT_LIFETIME_BOUND {
     auto it = find(key);
     if (it == end()) throw std::out_of_range("dense_map::at: key not found");
     return it->second;
   }
   template <class K>
-  T& at(const K& key) {
+  T& at(const K& key) ANOT_LIFETIME_BOUND {
     auto it = find(key);
     if (it == end()) throw std::out_of_range("dense_map::at: key not found");
     return it->second;
@@ -513,12 +517,14 @@ class small_vec {
   bool empty() const { return size_ == 0; }
   size_t capacity() const { return capacity_; }
 
-  T& operator[](size_t i) { return data_[i]; }
-  const T& operator[](size_t i) const { return data_[i]; }
-  T& front() { return data_[0]; }
-  const T& front() const { return data_[0]; }
-  T& back() { return data_[size_ - 1]; }
-  const T& back() const { return data_[size_ - 1]; }
+  T& operator[](size_t i) ANOT_LIFETIME_BOUND { return data_[i]; }
+  const T& operator[](size_t i) const ANOT_LIFETIME_BOUND {
+    return data_[i];
+  }
+  T& front() ANOT_LIFETIME_BOUND { return data_[0]; }
+  const T& front() const ANOT_LIFETIME_BOUND { return data_[0]; }
+  T& back() ANOT_LIFETIME_BOUND { return data_[size_ - 1]; }
+  const T& back() const ANOT_LIFETIME_BOUND { return data_[size_ - 1]; }
 
   void clear() {
     DestroyRange(data_, data_ + size_);
@@ -542,7 +548,7 @@ class small_vec {
   void push_back(const T& v) { emplace_back(v); }
   void push_back(T&& v) { emplace_back(std::move(v)); }
   template <class... Args>
-  T& emplace_back(Args&&... args) {
+  T& emplace_back(Args&&... args) ANOT_LIFETIME_BOUND {
     if (size_ == capacity_) reserve(size_ + 1);
     ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
     return data_[size_++];
@@ -608,7 +614,9 @@ class small_vec {
   }
 
  private:
-  T* InlinePtr() { return reinterpret_cast<T*>(inline_storage_); }
+  T* InlinePtr() ANOT_LIFETIME_BOUND {
+    return reinterpret_cast<T*>(inline_storage_);
+  }
   bool IsInline() const {
     return data_ == reinterpret_cast<const T*>(inline_storage_);
   }
@@ -650,6 +658,8 @@ class small_vec {
     }
   }
 
+  // anot-own: points at inline_storage_ below or at a heap block this
+  // small_vec allocated and frees in Reset(); never borrows external memory.
   T* data_;
   size_t size_ = 0;
   size_t capacity_ = N;

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file
+/// Compile-time lifetime and error-discipline annotations.
+///
+/// The worst bug this codebase has shipped was a lifetime bug: Scorer and
+/// Updater once held pointers into AnoT's inline options struct, which
+/// dangled when the AnoT was moved and silently corrupted every protocol
+/// score. This header is the third static-analysis layer (after the
+/// sanitizer matrix and the thread-safety capability analysis) and makes
+/// that bug class a *compile* error instead of a debugging session:
+///
+///   ANOT_LIFETIME_BOUND  `[[clang::lifetimebound]]` under Clang, a no-op
+///                        elsewhere. Placed on the implicit `this` of an
+///                        accessor that returns a reference/pointer/view
+///                        into the object, or on a parameter whose referent
+///                        the return value aliases. Clang's `-Wdangling` /
+///                        `-Wreturn-stack-address` family then reports, at
+///                        the call site, any binding of the result to a
+///                        longer-lived variable than the owner — e.g.
+///                        `const std::string& n = MakeDict().Name(0);`.
+///                        The `ANOT_LIFETIME` CMake option promotes the
+///                        family to -Werror on the pinned-clang CI job.
+///   ANOT_NODISCARD       `[[nodiscard]]` (both CI compilers). Applied at
+///                        class level to Status and Result<T>, so ignoring
+///                        a fallible call is a -Werror=unused-result error.
+///   not_null<T*>         a borrowed, never-null pointer. The constructor
+///                        rejects nullptr at compile time (deleted
+///                        overload) and asserts at runtime; the wrapper
+///                        documents "borrowed from a longer-lived owner"
+///                        at the type level where a raw `T*` member says
+///                        nothing. Pointer members that cannot use it
+///                        (rebinding, optional) carry an `// anot-own:`
+///                        contract instead (enforced by
+///                        tools/lifetime_lint.py).
+///
+/// Annotation discipline (enforced lexically by tools/lifetime_lint.py):
+/// every function returning a reference/pointer/string_view into an owner
+/// carries ANOT_LIFETIME_BOUND (or an audited `// anot-lint: lifetime-ok
+/// <reason>` when the referent has static storage); every raw
+/// pointer/reference/view *member* carries an `// anot-own: <owner
+/// outlives holder because ...>` contract.
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::lifetimebound)
+#define ANOT_LIFETIME_BOUND [[clang::lifetimebound]]
+#endif
+#endif
+#ifndef ANOT_LIFETIME_BOUND
+#define ANOT_LIFETIME_BOUND  // no-op: GCC has no lifetime analysis
+#endif
+
+#define ANOT_NODISCARD [[nodiscard]]
+
+/// Token pasting with a round of macro expansion, so
+/// `ANOT_CONCAT(_st_, __LINE__)` yields `_st_42` — the direct
+/// `a##__LINE__` paste suppresses expansion and yields the literal token
+/// `a__LINE__` for every use, which is exactly the shadowing bug the
+/// statement macros below existed to avoid.
+#define ANOT_CONCAT_IMPL(a, b) a##b
+#define ANOT_CONCAT(a, b) ANOT_CONCAT_IMPL(a, b)
+
+namespace anot {
+
+/// \brief A borrowed pointer that is never null.
+///
+/// Modeled on gsl::not_null, cut down to what the borrowed-dependency
+/// pattern here needs: implicit construction from a raw pointer (call
+/// sites keep passing `&owner` or `graph`), implicit conversion back out,
+/// and a hard ban on null. A `not_null<const X*>` member says "I borrow an
+/// X that my constructor's caller guarantees outlives me" — the matching
+/// `// anot-own:` contract names the owner.
+template <typename T>
+class not_null {
+  static_assert(std::is_pointer<T>::value,
+                "not_null<T> requires a pointer type, e.g. not_null<int*>");
+
+ public:
+  not_null(T ptr) : ptr_(ptr) {  // NOLINT(runtime/explicit)
+    assert(ptr_ != nullptr && "not_null constructed from nullptr");
+  }
+  not_null(std::nullptr_t) = delete;
+  not_null& operator=(std::nullptr_t) = delete;
+
+  T get() const { return ptr_; }
+  operator T() const { return ptr_; }  // NOLINT(runtime/explicit)
+  T operator->() const { return ptr_; }
+  // anot-lint: lifetime-ok dereference yields the pointee, whose lifetime
+  // is the borrow contract of the holder (anot-own), not of this wrapper.
+  typename std::remove_pointer<T>::type& operator*() const { return *ptr_; }
+
+ private:
+  T ptr_;  // not_null's whole point: this is the borrow it guards
+};
+
+}  // namespace anot

@@ -11,6 +11,7 @@ namespace {
 /// emit path below takes the lock for exactly one rendered message.
 Mutex g_log_mutex;
 
+// anot-lint: lifetime-ok returns string literals (static storage).
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";

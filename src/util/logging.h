@@ -6,6 +6,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/lifetime.h"
+
 namespace anot {
 
 /// \brief Severity levels for the library logger.
@@ -43,7 +45,7 @@ class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
   ~LogMessage();
-  std::ostream& stream() { return stream_; }
+  std::ostream& stream() ANOT_LIFETIME_BOUND { return stream_; }
 
  private:
   LogLevel level_;
@@ -55,7 +57,7 @@ class FatalMessage {
  public:
   FatalMessage(const char* file, int line, const char* expr);
   [[noreturn]] ~FatalMessage();
-  std::ostream& stream() { return stream_; }
+  std::ostream& stream() ANOT_LIFETIME_BOUND { return stream_; }
 
  private:
   std::ostringstream stream_;
@@ -85,10 +87,13 @@ struct LogVoidify {
   if (!(expr))                                                            \
   ::anot::internal::FatalMessage(__FILE__, __LINE__, #expr).stream()
 
+// Line-unique temporary (same hygiene as ANOT_RETURN_NOT_OK): an `expr`
+// that names a caller-scope `_st` must not bind to the macro's own.
 #define ANOT_CHECK_OK(expr)                                               \
   do {                                                                    \
-    ::anot::Status _st = (expr);                                          \
-    ANOT_CHECK(_st.ok()) << _st.ToString();                               \
+    ::anot::Status ANOT_CONCAT(_anot_ck_, __LINE__) = (expr);             \
+    ANOT_CHECK(ANOT_CONCAT(_anot_ck_, __LINE__).ok())                     \
+        << ANOT_CONCAT(_anot_ck_, __LINE__).ToString();                   \
   } while (0)
 
 /// Debug-only check.

@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "util/lifetime.h"
+
 namespace anot {
 
 /// \brief Error codes used across the public API.
@@ -23,8 +25,10 @@ enum class StatusCode {
 /// \brief A lightweight success-or-error value.
 ///
 /// Status is cheap to copy in the OK case (no allocation) and carries a
-/// human-readable message otherwise.
-class Status {
+/// human-readable message otherwise. Class-level [[nodiscard]]: a dropped
+/// Status is a swallowed error, so every fallible call must be checked,
+/// propagated (ANOT_RETURN_NOT_OK), or asserted (ANOT_CHECK_OK).
+class ANOT_NODISCARD Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -54,7 +58,7 @@ class Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  const std::string& message() const ANOT_LIFETIME_BOUND { return message_; }
 
   /// Renders "OK" or "<code>: <message>".
   std::string ToString() const {
@@ -70,6 +74,10 @@ class Status {
   Status(StatusCode code, std::string msg)
       : code_(code), message_(std::move(msg)) {}
 
+  // Fully covered: -Wswitch-enum (on for the whole tree) forces a new
+  // StatusCode to show up here before it compiles, so no dead fallback
+  // return is needed — an out-of-range value is a caller bug.
+  // anot-lint: lifetime-ok returns string literals (static storage).
   static const char* CodeName(StatusCode code) {
     switch (code) {
       case StatusCode::kOk: return "OK";
@@ -81,7 +89,7 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
     }
-    return "Unknown";
+    __builtin_unreachable();
   }
 
   StatusCode code_;
@@ -89,10 +97,16 @@ class Status {
 };
 
 /// \brief Propagate a non-OK Status to the caller.
-#define ANOT_RETURN_NOT_OK(expr)            \
-  do {                                      \
-    ::anot::Status _st = (expr);            \
-    if (!_st.ok()) return _st;              \
+///
+/// Hygiene: the temporary's name is line-unique (ANOT_CONCAT + __LINE__),
+/// so an `expr` that mentions a caller-scope `_st` cannot silently bind to
+/// the macro's own freshly declared (and at that point uninitialized)
+/// variable, and the expression is parenthesized before evaluation.
+#define ANOT_RETURN_NOT_OK(expr)                                     \
+  do {                                                               \
+    ::anot::Status ANOT_CONCAT(_anot_st_, __LINE__) = (expr);        \
+    if (!ANOT_CONCAT(_anot_st_, __LINE__).ok())                      \
+      return ANOT_CONCAT(_anot_st_, __LINE__);                       \
   } while (0)
 
 }  // namespace anot

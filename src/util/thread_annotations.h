@@ -42,6 +42,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "util/lifetime.h"
+
 #if defined(__clang__) && (!defined(SWIG))
 #define ANOT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
 #else
@@ -94,7 +96,7 @@ class ANOT_CAPABILITY("mutex") Mutex {
   bool TryLock() ANOT_TRY_ACQUIRE(true) { return raw_.try_lock(); }
 
   /// Negative-capability form for ANOT_EXCLUDES-style assertions.
-  const Mutex& operator!() const { return *this; }
+  const Mutex& operator!() const ANOT_LIFETIME_BOUND { return *this; }
 
  private:
   friend class CondVar;  // waits on the underlying std::mutex
@@ -112,6 +114,8 @@ class ANOT_SCOPED_CAPABILITY MutexLock {
   MutexLock& operator=(const MutexLock&) = delete;
 
  private:
+  // anot-own: the caller's Mutex outlives the lock — a MutexLock is a
+  // scoped local whose extent is the critical section it guards.
   Mutex& mu_;
 };
 

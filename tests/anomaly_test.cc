@@ -39,7 +39,9 @@ TEST_F(InjectorFixture, FractionsRespected) {
       case AnomalyType::kConceptual: ++conceptual; break;
       case AnomalyType::kTime: ++time_err; break;
       case AnomalyType::kValid: ++valid; break;
-      default: FAIL() << "missing labels must not appear in arrivals";
+      case AnomalyType::kMissing:
+        FAIL() << "missing labels must not appear in arrivals";
+        break;
     }
   }
   size_t missing = 0;

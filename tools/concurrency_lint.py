@@ -6,8 +6,8 @@ src/util/thread_annotations.h) checks lock discipline at compile time —
 but only for capabilities it can see.  A raw std::mutex is invisible to
 it, a detached thread outlives every annotation, and a by-reference
 lambda shipped to the ThreadPool can share anything with anyone.  This
-lint closes those escape hatches lexically, reusing the determinism
-lint's comment-stripping / annotation engine:
+lint closes those escape hatches lexically, riding the shared
+comment-stripping / annotation engine in tools/lint_common.py:
 
   raw-sync         std::mutex / std::lock_guard / std::unique_lock /
                    std::condition_variable (and friends) outside
@@ -56,14 +56,15 @@ import argparse
 import os
 import re
 import sys
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
-from determinism_lint import (
-    EXPECT_RE,
+from lint_common import (
     Finding,
     annotation_near,
     line_of,
     load_files,
+    run_fixture_selftest,
+    scan_balanced,
     strip_comments,
 )
 
@@ -100,19 +101,6 @@ RAW_SYNC_OK_RE = re.compile(r"anot-lint:\s*raw-sync-ok(?:\s+(\S.*))?")
 THREAD_OK_RE = re.compile(r"anot-lint:\s*thread-ok(?:\s+(\S.*))?")
 SHARED_OK_RE = re.compile(r"anot-lint:\s*shared-ok(?:\s+(\S.*))?")
 ANOT_SYNC_RE = re.compile(r"anot-sync:(?:\s+(\S.*))?")
-
-
-def scan_balanced(code: str, open_pos: int, open_ch: str, close_ch: str) -> int:
-    """Index one past the delimiter matching code[open_pos]."""
-    depth = 0
-    for j in range(open_pos, len(code)):
-        if code[j] == open_ch:
-            depth += 1
-        elif code[j] == close_ch:
-            depth -= 1
-            if depth == 0:
-                return j + 1
-    return len(code)
 
 
 def lint_file(path: str, text: str) -> List[Finding]:
@@ -221,44 +209,13 @@ def run_lint(paths: List[str]) -> List[Finding]:
 def self_test() -> int:
     here = os.path.dirname(os.path.abspath(__file__))
     fixture_dir = os.path.join(here, "lint_selftest")
-    must_flag = os.path.join(fixture_dir, "concurrency_must_flag.cc")
-    must_pass = os.path.join(fixture_dir, "concurrency_must_pass.cc")
-    failures: List[str] = []
-
-    with open(must_flag, encoding="utf-8") as f:
-        flag_lines = f.read().splitlines()
-    expected: Dict[int, str] = {}
-    for i, line in enumerate(flag_lines, start=1):
-        m = EXPECT_RE.search(line)
-        if m:
-            if m.group(1) not in RULES:
-                failures.append(f"{must_flag}:{i}: unknown rule in marker")
-            expected[i] = m.group(1)
-    got = {(f.line, f.rule) for f in run_lint([must_flag])}
-    for lineno, rule in sorted(expected.items()):
-        if (lineno, rule) not in got:
-            failures.append(
-                f"{must_flag}:{lineno}: expected [{rule}] did not fire"
-            )
-    for lineno, rule in sorted(got):
-        if expected.get(lineno) != rule:
-            failures.append(
-                f"{must_flag}:{lineno}: unexpected finding [{rule}]"
-            )
-
-    for f in run_lint([must_pass]):
-        failures.append(f"must_pass fixture flagged: {f}")
-
-    if failures:
-        print("concurrency_lint self-test FAILED:")
-        for msg in failures:
-            print("  " + msg)
-        return 1
-    print(
-        f"concurrency_lint self-test OK: {len(expected)} must-flag "
-        "fixtures fired, must-pass fixtures silent"
+    return run_fixture_selftest(
+        "concurrency_lint",
+        RULES,
+        os.path.join(fixture_dir, "concurrency_must_flag.cc"),
+        os.path.join(fixture_dir, "concurrency_must_pass.cc"),
+        run_lint,
     )
-    return 0
 
 
 def main() -> int:

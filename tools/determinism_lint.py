@@ -24,9 +24,10 @@ contract are mechanical to spot:
 The checker is a lexical (regex + balanced-scan) engine over the same
 patterns a clang-query AST matcher would bind: declarations and accessors
 with unordered types feed a symbol table; range-for / .begin() loops whose
-range resolves to that table are findings.  It is intentionally
-conservative: *every* unordered iteration must either be rewritten over a
-deterministic order or carry an audited-site annotation
+range resolves to that table are findings.  The engine itself lives in
+tools/lint_common.py, shared with the concurrency and lifetime lints.
+It is intentionally conservative: *every* unordered iteration must either
+be rewritten over a deterministic order or carry an audited-site annotation
 
     // anot-lint: ordered-ok <why iteration order cannot escape>
 
@@ -47,7 +48,34 @@ import argparse
 import os
 import re
 import sys
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Set
+
+from lint_common import (
+    EXPECT_RE,
+    Finding,
+    annotation_near,
+    find_loop_body_span,
+    line_of,
+    load_files,
+    match_paren,
+    run_fixture_selftest,
+    scan_balanced_angles,
+    strip_comments,
+    top_level_colon,
+)
+
+# Re-exported for backward compatibility: earlier revisions of
+# tools/concurrency_lint.py imported the engine from this module.
+__all__ = [
+    "EXPECT_RE",
+    "Finding",
+    "SymbolTable",
+    "annotation_near",
+    "line_of",
+    "load_files",
+    "run_lint",
+    "strip_comments",
+]
 
 UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<")
 POINTER_KEY_RE = re.compile(
@@ -56,70 +84,8 @@ POINTER_KEY_RE = re.compile(
 POINTER_LESS_RE = re.compile(r"\bstd\s*::\s*less\s*<\s*[\w:]+\s*\*\s*>")
 FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(&?\s*)?([A-Za-z_]\w*)\b")
 ANNOTATION_RE = re.compile(r"anot-lint:\s*ordered-ok(?:\s+(\S.*))?")
-EXPECT_RE = re.compile(r"expect-flag:\s*([\w-]+)")
 
 RULES = ("unordered-iter", "float-accum", "pointer-key")
-
-
-class Finding:
-    def __init__(self, path: str, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line  # 1-based
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments(text: str) -> str:
-    """Replaces comment and string-literal bodies with spaces, preserving
-    offsets and newlines so line numbers survive."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if ch == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif ch == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n if j < 0 else j + 2
-            out.append("".join(c if c == "\n" else " " for c in text[i:j]))
-            i = j
-        elif ch in "\"'":
-            quote = ch
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
-            i = j
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out)
-
-
-def scan_balanced_angles(text: str, open_pos: int) -> int:
-    """Given text[open_pos] == '<', returns the index one past the matching
-    '>' (template-argument context: only <> nest)."""
-    depth = 0
-    i = open_pos
-    n = len(text)
-    while i < n:
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return n
 
 
 class SymbolTable:
@@ -158,102 +124,11 @@ class SymbolTable:
         return bool(tail) and tail.group(1) in self.variables
 
 
-def line_of(text: str, offset: int) -> int:
-    return text.count("\n", 0, offset) + 1
-
-
-def find_loop_body_span(code: str, close_paren: int) -> Tuple[int, int]:
-    """Extent of the loop body following a for(...) header: a braced block
-    or a single statement."""
-    i = close_paren + 1
-    n = len(code)
-    while i < n and code[i] in " \t\n":
-        i += 1
-    if i < n and code[i] == "{":
-        depth = 0
-        j = i
-        while j < n:
-            if code[j] == "{":
-                depth += 1
-            elif code[j] == "}":
-                depth -= 1
-                if depth == 0:
-                    return (i, j + 1)
-            j += 1
-        return (i, n)
-    j = code.find(";", i)
-    return (i, n if j < 0 else j + 1)
-
-
-def match_paren(code: str, open_pos: int) -> int:
-    depth = 0
-    for j in range(open_pos, len(code)):
-        if code[j] == "(":
-            depth += 1
-        elif code[j] == ")":
-            depth -= 1
-            if depth == 0:
-                return j
-    return len(code) - 1
-
-
-def top_level_colon(header: str) -> int:
-    """Position of a range-for ':' at paren/angle depth 0 (not '::')."""
-    depth = 0
-    i = 0
-    n = len(header)
-    while i < n:
-        c = header[i]
-        if c in "([{":
-            depth += 1
-        elif c in ")]}":
-            depth -= 1
-        elif c == "<":
-            depth += 1
-        elif c == ">":
-            depth = max(0, depth - 1)
-        elif c == ":" and depth == 0:
-            if i + 1 < n and header[i + 1] == ":":
-                i += 2
-                continue
-            if i > 0 and header[i - 1] == ":":
-                i += 1
-                continue
-            return i
-        i += 1
-    return -1
-
-
 def collect_float_vars(code: str) -> Set[str]:
     out: Set[str] = set()
     for m in FLOAT_DECL_RE.finditer(code):
         out.add(m.group(2))
     return out
-
-
-def annotation_near(
-    lines: List[str], lineno: int, annotation_re: "re.Pattern[str]"
-) -> Tuple[bool, Optional[str]]:
-    """Whether the 1-based flagged line, or the contiguous `//` comment
-    block directly above it, matches `annotation_re` (group 1 = reason);
-    returns (found, reason). Shared with tools/concurrency_lint.py, which
-    reuses this lexical engine with its own annotation tags."""
-    if 1 <= lineno <= len(lines):
-        m = annotation_re.search(lines[lineno - 1])
-        if m:
-            return True, m.group(1)
-    idx = lineno - 2
-    while 0 <= idx < len(lines) and lines[idx].strip().startswith("//"):
-        m = annotation_re.search(lines[idx])
-        if m:
-            return True, m.group(1)
-        idx -= 1
-    return False, None
-
-
-def annotated(lines: List[str], lineno: int) -> Tuple[bool, Optional[str]]:
-    """ordered-ok lookup for the determinism rules."""
-    return annotation_near(lines, lineno, ANNOTATION_RE)
 
 
 def lint_file(path: str, text: str, symbols: SymbolTable) -> List[Finding]:
@@ -263,7 +138,7 @@ def lint_file(path: str, text: str, symbols: SymbolTable) -> List[Finding]:
     findings: List[Finding] = []
 
     def emit(lineno: int, rule: str, message: str) -> None:
-        has_note, reason = annotated(lines, lineno)
+        has_note, reason = annotation_near(lines, lineno, ANNOTATION_RE)
         if has_note and reason:
             return  # audited site
         if has_note and not reason:
@@ -335,22 +210,6 @@ def lint_file(path: str, text: str, symbols: SymbolTable) -> List[Finding]:
     return findings
 
 
-def load_files(paths: List[str]) -> Dict[str, str]:
-    files: Dict[str, str] = {}
-    for p in paths:
-        if os.path.isdir(p):
-            for root, _dirs, names in os.walk(p):
-                for name in sorted(names):
-                    if name.endswith((".h", ".cc", ".cpp", ".hpp")):
-                        full = os.path.join(root, name)
-                        with open(full, encoding="utf-8") as f:
-                            files[full] = f.read()
-        else:
-            with open(p, encoding="utf-8") as f:
-                files[p] = f.read()
-    return dict(sorted(files.items()))
-
-
 def run_lint(paths: List[str]) -> List[Finding]:
     files = load_files(paths)
     # Pass 1: one shared symbol table, so a .cc iterating a member declared
@@ -368,47 +227,13 @@ def run_lint(paths: List[str]) -> List[Finding]:
 def self_test() -> int:
     here = os.path.dirname(os.path.abspath(__file__))
     fixture_dir = os.path.join(here, "lint_selftest")
-    must_flag = os.path.join(fixture_dir, "must_flag.cc")
-    must_pass = os.path.join(fixture_dir, "must_pass.cc")
-    failures: List[str] = []
-
-    # must_flag.cc: every `// expect-flag: <rule>` line fires exactly that
-    # rule, and nothing else fires.
-    with open(must_flag, encoding="utf-8") as f:
-        flag_lines = f.read().splitlines()
-    expected: Dict[int, str] = {}
-    for i, line in enumerate(flag_lines, start=1):
-        m = EXPECT_RE.search(line)
-        if m:
-            if m.group(1) not in RULES:
-                failures.append(f"{must_flag}:{i}: unknown rule in marker")
-            expected[i] = m.group(1)
-    got = {(f.line, f.rule) for f in run_lint([must_flag])}
-    for lineno, rule in sorted(expected.items()):
-        if (lineno, rule) not in got:
-            failures.append(
-                f"{must_flag}:{lineno}: expected [{rule}] did not fire"
-            )
-    for lineno, rule in sorted(got):
-        if expected.get(lineno) != rule:
-            failures.append(
-                f"{must_flag}:{lineno}: unexpected finding [{rule}]"
-            )
-
-    # must_pass.cc: silent.
-    for f in run_lint([must_pass]):
-        failures.append(f"must_pass fixture flagged: {f}")
-
-    if failures:
-        print("determinism_lint self-test FAILED:")
-        for msg in failures:
-            print("  " + msg)
-        return 1
-    print(
-        f"determinism_lint self-test OK: {len(expected)} must-flag fixtures "
-        "fired, must-pass fixtures silent"
+    return run_fixture_selftest(
+        "determinism_lint",
+        RULES,
+        os.path.join(fixture_dir, "must_flag.cc"),
+        os.path.join(fixture_dir, "must_pass.cc"),
+        run_lint,
     )
-    return 0
 
 
 def main() -> int:

@@ -1,0 +1,81 @@
+// Self-test fixtures for tools/lifetime_lint.py — the MUST-FLAG half.
+// Every line marked `// expect-flag: <rule>` must fire exactly that rule;
+// any other finding in this file fails the self-test. The snippets are
+// the lifetime hazards the lint exists to catch: borrowed data members
+// without an ownership contract, view-returning functions Clang cannot
+// check because they lack ANOT_LIFETIME_BOUND, and `this` shipped to the
+// pool. This file is a lint fixture, not part of the build.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/lifetime.h"
+#include "util/thread_pool.h"
+
+namespace lint_fixture {
+
+// Borrowed members without the anot-own contract: nothing says who owns
+// the referenced storage or why it outlives this holder — the exact shape
+// of the PR 1 Scorer/Updater dangling-options bug.
+class Borrower {
+ public:
+  explicit Borrower(const std::string& owner) : ref_(owner) {}
+
+ private:
+  const std::string& ref_;            // expect-flag: ptr-member
+  const std::vector<int>* items_ = nullptr;  // expect-flag: ptr-member
+  std::string_view view_;             // expect-flag: ptr-member
+};
+
+// Public struct members borrow too — the rule is convention-independent
+// (no trailing underscore required).
+struct BorrowingCell {
+  const std::string* name = nullptr;  // expect-flag: ptr-member
+};
+
+// An annotation WITHOUT the mandatory reason does not suppress.
+// anot-own:
+struct Unreasoned {
+  const int* p = nullptr;  // expect-flag: ptr-member
+};
+
+// View-returning functions without ANOT_LIFETIME_BOUND: a caller binding
+// `const auto& x = MakeHolder().name();` dangles with no diagnostic.
+class Holder {
+ public:
+  const std::string& name() const {  // expect-flag: ref-return
+    return name_;
+  }
+  const char* c_name() const {  // expect-flag: ref-return
+    return name_.c_str();
+  }
+  std::string_view view_name() const {  // expect-flag: ref-return
+    return name_;
+  }
+  int& operator[](int) {  // expect-flag: ref-return
+    return scratch_;
+  }
+
+ private:
+  std::string name_;
+  int scratch_ = 0;
+};
+
+// Free functions are covered too (namespace scope, declaration or
+// definition).
+const std::string& PickFirst(const std::vector<std::string>& v);  // expect-flag: ref-return
+
+// A `this` capture shipped to the pool without an ownership note: the
+// task can outlive the object whose state it reads.
+class AsyncRefresher {
+ public:
+  void Kick(anot::ThreadPool* pool) {
+    pool->Submit([this] { ++generation_; });  // expect-flag: this-capture
+  }
+
+ private:
+  int generation_ = 0;
+};
+
+}  // namespace lint_fixture

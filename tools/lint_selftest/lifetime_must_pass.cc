@@ -1,0 +1,105 @@
+// Self-test fixtures for tools/lifetime_lint.py — the MUST-PASS half.
+// None of these may produce a finding: owning members, contract-carrying
+// borrows, annotated view returns, audited static-storage returns,
+// convention operators, out-of-line definitions of annotated
+// declarations, and by-value pool tasks. This file is a lint fixture,
+// not part of the build.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/lifetime.h"
+#include "util/thread_pool.h"
+
+namespace lint_fixture {
+
+// Owning members: values, containers, smart pointers — never flagged
+// (the '*' / '&' inside template arguments does not count).
+class Owner {
+ public:
+  const std::string& name() const ANOT_LIFETIME_BOUND { return name_; }
+  std::string CopyName() const { return name_; }
+  bool empty() const { return name_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<int> items_;
+  std::unique_ptr<std::string> heap_;
+};
+
+// Borrowed members WITH the mandatory contract pass.
+class AuditedBorrower {
+ public:
+  explicit AuditedBorrower(const Owner& owner) : owner_(owner) {}
+
+ private:
+  // anot-own: the Owner is constructed before and destroyed after every
+  // AuditedBorrower (caller-enforced scope nesting in this fixture).
+  const Owner& owner_;
+};
+
+// not_null documents non-null; the owner contract still rides along.
+class NotNullBorrower {
+ public:
+  explicit NotNullBorrower(const Owner* owner) : owner_(owner) {}
+
+ private:
+  // anot-own: the Owner outlives this borrower by construction order.
+  anot::not_null<const Owner*> owner_;
+};
+
+// Static-storage returns audited with lifetime-ok pass.
+// anot-lint: lifetime-ok returns a string literal (immortal storage)
+const char* KindName(int kind);
+
+// Convention operators returning *this / the caller's stream: excluded.
+class Chainable {
+ public:
+  Chainable& operator=(const Chainable& other) = default;
+  Chainable& operator+=(int delta) {
+    total_ += delta;
+    return *this;
+  }
+
+ private:
+  int total_ = 0;
+};
+
+// Out-of-line definition of an accessor annotated at its declaration:
+// the annotation lives on the declaration, the definition passes.
+class Declared {
+ public:
+  const std::string& label() const ANOT_LIFETIME_BOUND;
+
+ private:
+  std::string label_;
+};
+const std::string& Declared::label() const { return label_; }
+
+// Locals inside function bodies are not members — never flagged.
+inline int SumFirst(const std::vector<int>& v) {
+  const std::vector<int>& alias = v;
+  const int* first = alias.empty() ? nullptr : &alias[0];
+  return first ? *first : 0;
+}
+
+// By-value pool tasks own their state; `this`-free captures pass.
+inline void RunDetachedWork(anot::ThreadPool* pool) {
+  int snapshot = 42;
+  pool->Submit([snapshot] { (void)snapshot; });
+}
+
+// A `this` capture WITH the ownership note passes.
+class AuditedAsync {
+ public:
+  void Kick(anot::ThreadPool* pool) {
+    // anot-own: the destructor calls pool->Wait() before `this` dies.
+    pool->Submit([this] { ++generation_; });
+  }
+
+ private:
+  int generation_ = 0;
+};
+
+}  // namespace lint_fixture
