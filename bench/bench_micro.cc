@@ -4,8 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/anot.h"
 #include "core/duration.h"
+#include "io/checkpoint.h"
 #include "datagen/generator.h"
 #include "mdl/encoding.h"
 #include "mining/category_function.h"
@@ -314,6 +317,54 @@ void BM_ProcessArrivalBatch(benchmark::State& state) {
 BENCHMARK(BM_ProcessArrivalBatch)
     ->ArgsProduct({{1, 4}, {64}})
     ->ArgNames({"threads", "batch"});
+
+// Full-state checkpoint write + read-back of the shared detector. Before
+// any timing, the restored detector must score a probe slice identically
+// to the original (the BM_ProcessArrivalBatch equivalence-gate pattern):
+// a fast but wrong serializer must fail the benchmark, not win it.
+void BM_CheckpointSaveLoad(benchmark::State& state) {
+  const bool load = state.range(0) != 0;
+  const AnoT& system = SharedSystem();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "anot_bm_ckpt.bin").string();
+  if (!system.SaveCheckpoint(path).ok()) {
+    state.SkipWithError("checkpoint save failed");
+    return;
+  }
+  {
+    Result<AnoT> restored = AnoT::LoadCheckpoint(path);
+    if (!restored.ok()) {
+      state.SkipWithError("checkpoint load failed");
+      return;
+    }
+    const auto& facts = SharedGraph().facts();
+    for (size_t i = 0; i < std::min<size_t>(256, facts.size()); ++i) {
+      const Scores a = system.Score(facts[i]);
+      const Scores b = restored.value().Score(facts[i]);
+      if (a.static_score != b.static_score ||
+          a.temporal_score != b.temporal_score) {
+        state.SkipWithError(
+            "restored detector diverges from the original; timings are "
+            "meaningless");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    if (load) {
+      Result<AnoT> restored = AnoT::LoadCheckpoint(path);
+      benchmark::DoNotOptimize(restored.ok());
+    } else {
+      const Status st = system.SaveCheckpoint(path);
+      benchmark::DoNotOptimize(st.ok());
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() *
+                           std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_CheckpointSaveLoad)->Arg(0)->Arg(1)->ArgName("load");
 
 void BM_StaticAndTemporalScoring(benchmark::State& state) {
   const AnoT& system = SharedSystem();

@@ -65,6 +65,7 @@ struct AnoT::AsyncRefresh {
   }
 };
 
+AnoT::AnoT() = default;
 AnoT::AnoT(AnoT&&) noexcept = default;
 AnoT& AnoT::operator=(AnoT&&) noexcept = default;
 AnoT::~AnoT() = default;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/builder.h"
@@ -14,9 +15,13 @@
 #include "rulegraph/rule_graph.h"
 #include "tkg/graph.h"
 #include "util/lifetime.h"
+#include "util/result.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace anot {
+
+class Checkpoint;
 
 /// \brief How a monitor-triggered refresh executes (§4.5 rebuild).
 enum class RefreshMode {
@@ -184,8 +189,28 @@ class AnoT {
   /// after Refresh/FinishRefresh), never concurrently with mutation.
   void CheckInvariants() const;
 
+  // -- Checkpoint / warm restart (io/checkpoint.h) --------------------------
+
+  /// Serializes the full detector state to a versioned binary checkpoint.
+  /// FailedPrecondition while a background refresh is in flight (quiesce
+  /// with FinishRefresh() first). Defined in io/checkpoint.cc.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores a detector saved by SaveCheckpoint. Processing the remaining
+  /// stream on the restored instance is bit-identical to never having
+  /// restarted (checkpoint_test pins this under the ANOT_THREADS matrix).
+  /// Malformed input of every kind returns an error Status.
+  static Result<AnoT> LoadCheckpoint(const std::string& path);
+
  private:
-  AnoT() = default;
+  /// The checkpoint codec reads/writes private state directly; keeping it
+  /// a friend (instead of widening the public API with mutable accessors)
+  /// preserves the class's "only serving code mutates state" contract.
+  friend class Checkpoint;
+
+  /// Out of line (anot.cc): a defaulted inline ctor would instantiate
+  /// ~unique_ptr<AsyncRefresh> in TUs where AsyncRefresh is incomplete.
+  AnoT();
 
   /// The rebuildable structures: what an offline build (or a refresh)
   /// produces from a TKG.

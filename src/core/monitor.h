@@ -64,6 +64,12 @@ class Monitor {
   void CheckInvariants() const;
 
  private:
+  /// The checkpoint codec (io/checkpoint.h) persists the pricing-ledger
+  /// universes and the accumulation/bucket state directly — the universes
+  /// are frozen at build time, so a restore must NOT recompute them from
+  /// the (since grown) graph.
+  friend class Checkpoint;
+
   void CloseBucket();
 
   NegativeErrorLedger pricing_;  // used only for CostAt (stateless pricing)

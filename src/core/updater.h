@@ -65,6 +65,10 @@ class Updater {
   void CheckInvariants() const;
 
  private:
+  /// The checkpoint codec (io/checkpoint.h) saves the pending table in
+  /// LRU-list order and rebuilds both containers from it at load.
+  friend class Checkpoint;
+
   /// Marginal MDL admission test for a recurring unseen pattern.
   bool ShouldAdmitRule(const AtomicRule& rule, uint32_t online_support) const;
 

@@ -9,6 +9,7 @@
 
 namespace anot {
 
+class Checkpoint;
 class ThreadPool;
 
 /// \brief Options controlling category-function construction (§4.3.1).
@@ -93,6 +94,10 @@ class CategoryFunction {
   }
 
  private:
+  /// The checkpoint codec (io/checkpoint.h) restores the mined state
+  /// field-by-field; token_index_ is recomputed from categories_ at load.
+  friend class Checkpoint;
+
   struct CategoryInfo {
     std::vector<uint32_t> tokens;   // ascending
     std::vector<EntityId> members;  // ascending

@@ -1,6 +1,7 @@
 #include "tkg/loader.h"
 
-#include <cstdlib>
+#include <cstdint>
+#include <limits>
 
 #include "util/string_util.h"
 #include "util/tsv.h"
@@ -8,6 +9,41 @@
 namespace anot {
 
 namespace {
+
+/// Strict integer-field parser shared by the tick and date paths: the
+/// field must be digits only (one leading '-' allowed when
+/// `allow_negative`), with no whitespace, no '+', no trailing junk, and
+/// overflow is an error. strtoll accepted " 12" and "+5" — encodings a
+/// canonical save never writes — and silently clamped out-of-range years
+/// to LLONG_MAX, which DaysFromCivil then fed into signed arithmetic.
+bool ParseStrictInt(const std::string& field, bool allow_negative,
+                    int64_t* out) {
+  size_t i = 0;
+  bool negative = false;
+  if (allow_negative && !field.empty() && field[0] == '-') {
+    negative = true;
+    i = 1;
+  }
+  if (i >= field.size()) return false;  // empty, or a bare '-'
+  uint64_t magnitude = 0;
+  // Largest magnitude representable: |INT64_MIN| for negatives, INT64_MAX
+  // for positives.
+  const uint64_t limit =
+      negative ? static_cast<uint64_t>(
+                     std::numeric_limits<int64_t>::max()) +
+                     1
+               : static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  for (; i < field.size(); ++i) {
+    const char c = field[i];
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (magnitude > (limit - digit) / 10) return false;  // overflow
+    magnitude = magnitude * 10 + digit;
+  }
+  *out = negative ? -static_cast<int64_t>(magnitude - 1) - 1
+                  : static_cast<int64_t>(magnitude);
+  return true;
+}
 
 // Days from 1970-01-01 to y-m-d using the civil-days algorithm
 // (Howard Hinnant's days_from_civil).
@@ -38,17 +74,24 @@ Result<Timestamp> TkgIo::ParseTime(const std::string& field) {
   // ISO date?
   const auto parts = Split(field, '-');
   if (parts.size() == 3 && !parts[0].empty()) {
-    char* end = nullptr;
-    int64_t y = std::strtoll(parts[0].c_str(), &end, 10);
-    if (*end != '\0') {
+    int64_t y = 0;
+    int64_t m = 0;
+    int64_t d = 0;
+    // Date components are digits only (a leading '-' on the year would
+    // have produced a fourth Split part, so negative years never reach
+    // this path). The year cap keeps DaysFromCivil's era/day-of-era
+    // arithmetic far from int64 overflow — strtoll used to clamp an
+    // over-long year to LLONG_MAX and feed it straight in.
+    if (!ParseStrictInt(parts[0], /*allow_negative=*/false, &y) ||
+        y > 1000000000) {
       return Status::InvalidArgument("bad year in date: " + field);
     }
-    int64_t m = std::strtoll(parts[1].c_str(), &end, 10);
-    if (*end != '\0' || m < 1 || m > 12) {
+    if (!ParseStrictInt(parts[1], /*allow_negative=*/false, &m) || m < 1 ||
+        m > 12) {
       return Status::InvalidArgument("bad month in date: " + field);
     }
-    int64_t d = std::strtoll(parts[2].c_str(), &end, 10);
-    if (*end != '\0' || d < 1 || d > 31) {
+    if (!ParseStrictInt(parts[2], /*allow_negative=*/false, &d) || d < 1 ||
+        d > 31) {
       return Status::InvalidArgument("bad day in date: " + field);
     }
     // Reject impossible calendar dates (2023-02-31, 2021-04-31, Feb 29 in
@@ -66,9 +109,10 @@ Result<Timestamp> TkgIo::ParseTime(const std::string& field) {
     return DaysFromCivil(y, static_cast<unsigned>(m),
                          static_cast<unsigned>(d));
   }
-  char* end = nullptr;
-  int64_t ticks = std::strtoll(field.c_str(), &end, 10);
-  if (field.empty() || *end != '\0') {
+  int64_t ticks = 0;
+  // Integer ticks: digits with an optional leading '-' (pre-epoch ticks
+  // are legitimate), same strictness as the date components.
+  if (!ParseStrictInt(field, /*allow_negative=*/true, &ticks)) {
     return Status::InvalidArgument("bad time field: " + field);
   }
   return ticks;
@@ -119,6 +163,33 @@ Result<std::unique_ptr<TemporalKnowledgeGraph>> TkgIo::LoadTsv(
   return graph;
 }
 
+namespace {
+
+/// The TSV format cannot carry these names: a tab or newline inside a name
+/// splits the row into extra columns (arity error — or worse, a silent
+/// misparse into a different fact) and a trailing '\r' is CRLF-stripped on
+/// some readers; a subject starting with '#' makes the whole line a
+/// comment on reload, silently dropping the fact. Rejecting at save time
+/// keeps every file SaveTsv produces loadable back to the identical graph.
+Status ValidateTsvName(const std::string& name, const char* role,
+                       bool starts_line) {
+  if (name.find_first_of("\t\n\r") != std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("SaveTsv: %s name %s contains a tab, newline, or carriage "
+                  "return and cannot round-trip through TSV",
+                  role, name.c_str()));
+  }
+  if (starts_line && !name.empty() && name[0] == '#') {
+    return Status::InvalidArgument(
+        StrFormat("SaveTsv: subject name %s starts with '#'; the reloaded "
+                  "row would be skipped as a comment",
+                  name.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status TkgIo::SaveTsv(const TemporalKnowledgeGraph& graph,
                       const std::string& path) {
   std::vector<std::vector<std::string>> rows;
@@ -128,6 +199,12 @@ Status TkgIo::SaveTsv(const TemporalKnowledgeGraph& graph,
     std::vector<std::string> row{
         graph.EntityName(f.subject), graph.RelationName(f.relation),
         graph.EntityName(f.object), std::to_string(f.time)};
+    ANOT_RETURN_NOT_OK(ValidateTsvName(row[0], "entity",
+                                       /*starts_line=*/true));
+    ANOT_RETURN_NOT_OK(ValidateTsvName(row[1], "relation",
+                                       /*starts_line=*/false));
+    ANOT_RETURN_NOT_OK(ValidateTsvName(row[2], "entity",
+                                       /*starts_line=*/false));
     if (durations) row.push_back(std::to_string(f.end));
     rows.push_back(std::move(row));
   }

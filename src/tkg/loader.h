@@ -23,10 +23,17 @@ class TkgIo {
       const std::string& path);
 
   /// Writes a graph as quadruples (or quintuples when it has durations).
+  /// Names that cannot round-trip through the format — containing a tab,
+  /// newline, or carriage return, or a subject starting with '#' (the
+  /// reader's comment marker) — are rejected with InvalidArgument before
+  /// anything is written.
   static Status SaveTsv(const TemporalKnowledgeGraph& graph,
                         const std::string& path);
 
-  /// Parses an integer tick or ISO date into a Timestamp.
+  /// Parses an integer tick or ISO date into a Timestamp. Parsing is
+  /// strict: digits only (ticks may carry one leading '-'), no
+  /// whitespace, no '+', and out-of-range values are errors — a field a
+  /// canonical save never writes never loads.
   static Result<Timestamp> ParseTime(const std::string& field);
 };
 

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "tkg/dictionary.h"
 #include "tkg/graph.h"
@@ -320,6 +321,87 @@ TEST(LoaderTest, RejectsBadArity) {
     out << "a\tb\tc\n";
   }
   EXPECT_FALSE(TkgIo::LoadTsv(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(LoaderTest, ParseTimeRejectsNonCanonicalFields) {
+  // Regression: strtoll accepted whitespace, '+', and trailing junk —
+  // encodings a canonical SaveTsv never writes — and silently clamped
+  // out-of-range values to LLONG_MAX.
+  EXPECT_FALSE(TkgIo::ParseTime(" 12").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("12 ").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("+5").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("1e5").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("0x10").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("-").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("--5").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("12\t").ok());
+  // Date components are held to the same strictness.
+  EXPECT_FALSE(TkgIo::ParseTime("2020- 1-01").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("2020-+1-01").ok());
+  EXPECT_FALSE(TkgIo::ParseTime(" 2020-01-01").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("2020-01-01 ").ok());
+  // Leading zeros are canonical in dates ("01") and stay accepted.
+  EXPECT_EQ(TkgIo::ParseTime("007").value(), 7);
+}
+
+TEST(LoaderTest, ParseTimeOverflowIsAnErrorNotAClamp) {
+  // Exact int64 bounds round-trip for ticks...
+  EXPECT_EQ(TkgIo::ParseTime("9223372036854775807").value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(TkgIo::ParseTime("-9223372036854775808").value(),
+            std::numeric_limits<int64_t>::min());
+  // ...one past them is an error (strtoll used to clamp).
+  EXPECT_FALSE(TkgIo::ParseTime("9223372036854775808").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("-9223372036854775809").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("99999999999999999999999").ok());
+  // Years are capped well below the point where the civil-days
+  // conversion's era arithmetic could overflow.
+  EXPECT_TRUE(TkgIo::ParseTime("1000000000-01-01").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("1000000001-01-01").ok());
+  EXPECT_FALSE(TkgIo::ParseTime("9223372036854775807-01-01").ok());
+}
+
+TEST(LoaderTest, SaveTsvRejectsNamesThatCannotRoundTrip) {
+  // Regression: a tab inside a name used to split the row into extra
+  // columns and a leading '#' on the subject made the reloaded line a
+  // comment — both silently corrupted the round trip. Now rejected with
+  // InvalidArgument before anything is written.
+  auto dir = std::filesystem::temp_directory_path();
+  auto path = (dir / "anot_loader_advname.tsv").string();
+
+  const auto expect_rejected = [&](const TemporalKnowledgeGraph& g) {
+    const Status st = TkgIo::SaveTsv(g, path);
+    EXPECT_FALSE(st.ok());
+    EXPECT_FALSE(std::filesystem::exists(path)) << st.message();
+  };
+
+  TemporalKnowledgeGraph tab_in_entity;
+  tab_in_entity.AddFact("a\tb", "r", "c", 1);
+  expect_rejected(tab_in_entity);
+
+  TemporalKnowledgeGraph newline_in_object;
+  newline_in_object.AddFact("a", "r", "c\nd", 1);
+  expect_rejected(newline_in_object);
+
+  TemporalKnowledgeGraph cr_in_relation;
+  cr_in_relation.AddFact("a", "r\r", "c", 1);
+  expect_rejected(cr_in_relation);
+
+  TemporalKnowledgeGraph comment_subject;
+  comment_subject.AddFact("#a", "r", "c", 1);
+  expect_rejected(comment_subject);
+
+  // '#' is only special at the start of a line: as an object (or inside a
+  // name) it round-trips fine.
+  TemporalKnowledgeGraph hash_elsewhere;
+  hash_elsewhere.AddFact("a#b", "r#", "#c", 7);
+  ASSERT_TRUE(TkgIo::SaveTsv(hash_elsewhere, path).ok());
+  auto loaded = TkgIo::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value()->num_facts(), 1u);
+  EXPECT_EQ(loaded.value()->EntityName(loaded.value()->fact(0).object),
+            "#c");
   std::filesystem::remove(path);
 }
 
